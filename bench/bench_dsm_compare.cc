@@ -1,0 +1,104 @@
+// Ablation A5 (§4.2): pages vs objects as the unit of coherence, on SOR.
+//
+// The same SOR problem solved three ways over the same network model:
+//   * Amber (object coherence, function shipping, overlap);
+//   * page DSM with the grid laid out column-major — the hand-tuned layout
+//     a careful Ivy programmer would choose (edge columns contiguous);
+//   * page DSM with the grid row-major — the natural C layout, where an
+//     edge *column* touches one page per row ("the programmer must be aware
+//     of page sizes and boundaries...").
+// Also sweeps the DSM page size to show the granularity tension: big pages
+// amortize transfers but amplify false sharing; small pages fault more.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/apps/sor/sor.h"
+#include "src/dsm/sor_dsm.h"
+
+int main() {
+  constexpr int kNodes = 4;
+  sor::Params ap;
+  ap.rows = 62;
+  ap.cols = 422;
+  ap.sections = kNodes;  // one section per node: comparable decomposition
+  ap.max_iterations = 30;
+  ap.tolerance = 0.0;
+
+  const sim::CostModel cost;
+  std::printf("Ablation A5 (par. 4.2): SOR %dx%d on %d nodes (1 CPU each), %d iterations\n\n",
+              ap.rows, ap.cols, kNodes, ap.max_iterations);
+
+  const sor::Result seq = sor::RunSequentialOn(ap, cost);
+  const sor::Result amber_r = sor::RunAmberOn(kNodes, 1, ap, cost);
+
+  benchutil::Table table({"system", "time (s)", "vs seq", "msgs", "KB on wire", "faults"});
+  table.AddRow({"sequential", benchutil::Fmt("%.2f", amber::ToSeconds(seq.solve_time)), "1.00",
+                "0", "0", "-"});
+  table.AddRow({"Amber objects (overlap)",
+                benchutil::Fmt("%.2f", amber::ToSeconds(amber_r.solve_time)),
+                benchutil::Fmt("%.2f", static_cast<double>(seq.solve_time) /
+                                           static_cast<double>(amber_r.solve_time)),
+                std::to_string(amber_r.net_messages),
+                std::to_string(amber_r.net_bytes / 1024), "-"});
+  if (amber_r.grid_hash != seq.grid_hash) {
+    std::printf("WARNING: Amber grid mismatch\n");
+  }
+
+  // The write-update protocol variant (Li & Hudak's other family): copies
+  // stay valid, every boundary write multicasts to the copyset.
+  {
+    dsm::SorDsmParams dp;
+    dp.rows = ap.rows;
+    dp.cols = ap.cols;
+    dp.iterations = ap.max_iterations;
+    dp.point_cost = ap.point_cost;
+    dp.layout = dsm::GridLayout::kColumnMajor;
+    dp.protocol = dsm::Protocol::kUpdate;
+    const dsm::SorDsmResult r = dsm::RunSorDsm(kNodes, dp, cost);
+    if (r.grid_hash != seq.grid_hash) {
+      std::printf("WARNING: update-protocol grid mismatch\n");
+    }
+    table.AddRow({"Ivy pages, tuned, write-update",
+                  benchutil::Fmt("%.2f", amber::ToSeconds(r.solve_time)),
+                  benchutil::Fmt("%.2f", static_cast<double>(seq.solve_time) /
+                                             static_cast<double>(r.solve_time)),
+                  std::to_string(r.net_messages), std::to_string(r.net_bytes / 1024),
+                  std::to_string(r.updates_sent) + " updates"});
+  }
+
+  for (const auto layout : {dsm::GridLayout::kColumnMajor, dsm::GridLayout::kRowMajor}) {
+    for (const int page : layout == dsm::GridLayout::kColumnMajor ? std::vector<int>{512, 1024, 4096}
+                                                                  : std::vector<int>{1024}) {
+      dsm::SorDsmParams dp;
+      dp.rows = ap.rows;
+      dp.cols = ap.cols;
+      dp.iterations = ap.max_iterations;
+      dp.point_cost = ap.point_cost;
+      dp.layout = layout;
+      dp.page_size = page;
+      const dsm::SorDsmResult r = dsm::RunSorDsm(kNodes, dp, cost);
+      if (r.grid_hash != seq.grid_hash) {
+        std::printf("WARNING: DSM grid mismatch (layout=%d page=%d)\n",
+                    static_cast<int>(layout), page);
+      }
+      const std::string name =
+          std::string("Ivy pages, ") +
+          (layout == dsm::GridLayout::kColumnMajor ? "tuned layout" : "row-major") + ", " +
+          std::to_string(page) + "B";
+      table.AddRow({name, benchutil::Fmt("%.2f", amber::ToSeconds(r.solve_time)),
+                    benchutil::Fmt("%.2f", static_cast<double>(seq.solve_time) /
+                                               static_cast<double>(r.solve_time)),
+                    std::to_string(r.net_messages), std::to_string(r.net_bytes / 1024),
+                    std::to_string(r.read_faults + r.write_faults)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: Amber and the hand-tuned DSM layout are comparable; the\n"
+      "natural row-major layout faults per row and collapses — the layout knowledge\n"
+      "Amber gets from its object decomposition must be supplied manually to a\n"
+      "page-based system (par. 4.2).\n");
+  return 0;
+}

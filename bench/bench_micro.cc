@@ -1,0 +1,172 @@
+// M1: host-level microbenchmarks (google-benchmark) of the runtime's own
+// mechanisms — the costs the *simulator* pays per simulated event, not
+// virtual-time results. Useful for keeping the simulation fast enough to
+// sweep the paper's parameter space.
+
+#include <benchmark/benchmark.h>
+
+#include "src/kernel/descriptor_table.h"
+#include "src/mem/address_space.h"
+#include "src/mem/region_server.h"
+#include "src/mem/segment_alloc.h"
+#include "src/rpc/wire.h"
+#include "src/sim/context.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/kernel.h"
+#include "src/sim/stack_pool.h"
+
+namespace {
+
+// --- Context switching -------------------------------------------------------
+
+struct SwitchPair {
+  sim::Context main_ctx;
+  sim::Context fiber_ctx;
+};
+SwitchPair* g_pair = nullptr;
+
+void SwitchEntry(void*) {
+  for (;;) {
+    sim::Context::Switch(&g_pair->fiber_ctx, &g_pair->main_ctx);
+  }
+}
+
+void BM_ContextSwitch(benchmark::State& state) {
+  sim::StackPool pool(64 * 1024);
+  SwitchPair pair;
+  g_pair = &pair;
+  void* stack = pool.Allocate();
+  pair.fiber_ctx.Init(stack, pool.stack_size(), &SwitchEntry, nullptr);
+  for (auto _ : state) {
+    sim::Context::Switch(&pair.main_ctx, &pair.fiber_ctx);  // there and back
+  }
+  pool.Free(stack);
+  g_pair = nullptr;
+  state.SetItemsProcessed(state.iterations() * 2);  // two switches per round
+}
+BENCHMARK(BM_ContextSwitch);
+
+// --- Event queue ---------------------------------------------------------------
+
+void BM_EventQueuePostRun(benchmark::State& state) {
+  sim::EventQueue q;
+  int64_t sink = 0;
+  amber::Time t = 0;
+  for (auto _ : state) {
+    q.Post(++t, [&sink] { ++sink; });
+    q.RunOne();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueuePostRun);
+
+void BM_EventQueueDepth1000(benchmark::State& state) {
+  int64_t sink = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.Post(1000 - i, [&sink] { ++sink; });
+    }
+    state.ResumeTiming();
+    while (q.RunOne()) {
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueDepth1000);
+
+// --- Descriptor table -------------------------------------------------------------
+
+void BM_DescriptorLookup(benchmark::State& state) {
+  amber::DescriptorTable table(0);
+  std::vector<int> objects(1024);
+  for (int& o : objects) {
+    table.SetResident(&o);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto d = table.Lookup(&objects[i++ & 1023]);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_DescriptorLookup);
+
+// --- Segment allocator --------------------------------------------------------------
+
+void BM_SegmentAllocFree(benchmark::State& state) {
+  mem::GlobalAddressSpace gas(size_t{64} << 20);
+  mem::RegionServer server(&gas, 1, 16);
+  mem::SegmentAllocator alloc(&gas, 0);
+  for (int r = 0; r < 16; ++r) {
+    alloc.AddRegion(r);
+  }
+  for (auto _ : state) {
+    void* p = alloc.Allocate(128);
+    benchmark::DoNotOptimize(p);
+    alloc.Free(p);
+  }
+}
+BENCHMARK(BM_SegmentAllocFree);
+
+// --- Wire serialization ----------------------------------------------------------------
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  std::vector<double> row(122, 3.25);
+  for (auto _ : state) {
+    rpc::WireBuffer w;
+    w.PutU64(42);
+    w.PutBytes(row.data(), row.size() * sizeof(double));
+    auto bytes = w.GetU64();
+    auto blob = w.GetBytes();
+    benchmark::DoNotOptimize(bytes);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(row.size() * sizeof(double)));
+}
+BENCHMARK(BM_WireRoundTrip);
+
+void BM_WireChecksum1K(benchmark::State& state) {
+  rpc::WireBuffer w;
+  std::vector<uint8_t> blob(1024, 0x5a);
+  w.PutBytes(blob.data(), blob.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.Checksum());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_WireChecksum1K);
+
+// --- Whole-kernel throughput -------------------------------------------------------------
+
+void BM_KernelFiberChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel::Config config;
+    config.nodes = 4;
+    config.procs_per_node = 2;
+    sim::Kernel kernel(config);
+    sim::StackPool pool(32 * 1024);
+    std::vector<void*> stacks;
+    for (int i = 0; i < 32; ++i) {
+      void* stack = pool.Allocate();
+      stacks.push_back(stack);
+      kernel.Spawn(i % 4, stack, pool.stack_size(), [&kernel] {
+        for (int r = 0; r < 10; ++r) {
+          kernel.Charge(amber::Micros(100));
+          kernel.Sync();
+        }
+      });
+    }
+    kernel.Run();
+    for (void* s : stacks) {
+      pool.Free(s);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 10);  // sync events
+}
+BENCHMARK(BM_KernelFiberChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Ablation A9 (§2.3): reorganizing object locations between phases.
+//
+// "Dynamic mobility is useful because some applications will need to
+// reorganize object locations following different computational phases of
+// a program, although static object placement is sufficient for many
+// applications."
+//
+// Distributed sample sort has a hard phase boundary: after partitioning,
+// every bucket's natural home changes. Three strategies:
+//   * reorganize — MoveTo each bucket to its destination (bulk transfers);
+//     phase 3 is then entirely local;
+//   * fetch      — leave buckets in place; each merger thread travels to
+//                  every remote bucket and carries its keys home (the
+//                  "static placement" program);
+//   * 1 node     — no distribution at all (the baseline scale reference).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/sort/psort.h"
+
+int main() {
+  const sim::CostModel cost;
+  std::printf("Ablation A9 (par. 2.3): phase reorganization in distributed sample sort\n\n");
+
+  for (const int64_t keys : {int64_t{32} * 1024, int64_t{128} * 1024}) {
+    psort::Params p;
+    p.keys = keys;
+    std::printf("%lld keys, 4 nodes x 2 CPUs:\n\n", static_cast<long long>(keys));
+    benchutil::Table table(
+        {"strategy", "total (ms)", "reorg/fetch (ms)", "moves", "msgs", "KB on wire"});
+
+    const psort::Result seq = psort::RunSequentialOn(p, cost);
+    table.AddRow({"sequential (1 CPU)", benchutil::Fmt("%.1f", amber::ToMillis(seq.solve_time)),
+                  "-", "0", "0", "0"});
+
+    p.reorganize = true;
+    const psort::Result moved = psort::RunAmberOn(4, 2, p, cost);
+    table.AddRow({"reorganize (MoveTo buckets)",
+                  benchutil::Fmt("%.1f", amber::ToMillis(moved.solve_time)),
+                  benchutil::Fmt("%.1f", amber::ToMillis(moved.solve_time - moved.phase1_end)),
+                  std::to_string(moved.objects_moved), std::to_string(moved.net_messages),
+                  std::to_string(moved.net_bytes / 1024)});
+
+    p.reorganize = false;
+    const psort::Result fetched = psort::RunAmberOn(4, 2, p, cost);
+    table.AddRow({"static placement (fetch)",
+                  benchutil::Fmt("%.1f", amber::ToMillis(fetched.solve_time)),
+                  benchutil::Fmt("%.1f",
+                                 amber::ToMillis(fetched.solve_time - fetched.phase1_end)),
+                  std::to_string(fetched.objects_moved), std::to_string(fetched.net_messages),
+                  std::to_string(fetched.net_bytes / 1024)});
+    if (moved.checksum != fetched.checksum || !moved.sorted || !fetched.sorted) {
+      std::printf("ERROR: strategies disagree or output unsorted\n");
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: reorganization wins and its advantage grows with data size —\n"
+      "bulk transfers amortize per-message overhead that per-bucket fetch round trips\n"
+      "pay repeatedly, and the merge phase runs on purely local data.\n");
+  return 0;
+}

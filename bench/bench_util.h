@@ -1,0 +1,66 @@
+// Shared helpers for the benchmark harnesses: aligned table printing and
+// paper-vs-measured reporting.
+
+#ifndef AMBER_BENCH_BENCH_UTIL_H_
+#define AMBER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+// Prints a fixed-width table: header row then data rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      width[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    PrintRow(headers_, width);
+    std::string sep;
+    for (size_t i = 0; i < width.size(); ++i) {
+      sep += std::string(width[i], '-') + (i + 1 < width.size() ? "-+-" : "");
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, width);
+    }
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row, const std::vector<size_t>& width) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string cell = row[i];
+      cell.resize(width[i], ' ');
+      line += cell + (i + 1 < row.size() ? " | " : "");
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtI(int64_t v) { return std::to_string(v); }
+
+}  // namespace benchutil
+
+#endif  // AMBER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,126 @@
+// Replaceable scheduling policies (§2.1 / Presto heritage).
+//
+// "An application can install a custom scheduling discipline at runtime by
+// replacing the system scheduler object with a similar object that supports
+// the same interface but behaves differently."
+//
+// This example runs an interactive-style workload (short, latency-sensitive
+// requests) against background compute threads, under the default FIFO
+// policy and under a priority policy — and also shows a *user-defined*
+// policy (shortest-job-first by declared priority) implemented outside the
+// runtime by subclassing sim::RunQueue.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/core/amber.h"
+
+namespace {
+
+using namespace amber;
+
+// A user-defined discipline: lowest numeric "deadline" (stored in the
+// fiber's priority field, negated) runs first.
+class DeadlineRunQueue : public sim::RunQueue {
+ public:
+  void Enqueue(sim::Fiber* f) override { q_.emplace(f->priority, f); }
+  sim::Fiber* Dequeue() override {
+    if (q_.empty()) {
+      return nullptr;
+    }
+    auto it = q_.begin();
+    sim::Fiber* f = it->second;
+    q_.erase(it);
+    return f;
+  }
+  bool Empty() const override { return q_.empty(); }
+  size_t Size() const override { return q_.size(); }
+  bool Remove(sim::Fiber* f) override {
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+      if (it->second == f) {
+        q_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::multimap<int, sim::Fiber*> q_;  // keyed by "deadline"
+};
+
+class Server : public Object {
+ public:
+  // A short interactive request; `submitted` is the StartThread timestamp,
+  // so the returned latency includes run-queue waiting time.
+  double Request(Time submitted) {
+    Work(kMicrosecond * 300);
+    return ToMillis(Now() - submitted);
+  }
+  // A long background job.
+  int Background() {
+    for (int i = 0; i < 40; ++i) {
+      Work(kMillisecond);
+    }
+    return 1;
+  }
+};
+
+double RunWorkload(const char* label, int mode) {
+  Runtime::Config config;
+  config.nodes = 1;
+  config.procs_per_node = 2;
+  sim::CostModel cost;
+  cost.quantum = amber::Millis(5);
+  config.cost = cost;
+  Runtime rt(config);
+  double avg_latency = 0.0;
+  rt.Run([&] {
+    if (mode == 1) {
+      SetScheduler(0, std::make_unique<sim::PriorityRunQueue>());
+    } else if (mode == 2) {
+      SetScheduler(0, std::make_unique<DeadlineRunQueue>());
+    }
+    auto server = New<Server>();
+    // Saturate both CPUs with background work.
+    std::vector<ThreadRef<int>> bg;
+    for (int i = 0; i < 4; ++i) {
+      bg.push_back(StartThreadNamed("bg", mode == 2 ? 100 : 0, server, &Server::Background));
+    }
+    Work(kMillisecond * 2);
+    // Fire interactive requests; under FIFO they queue behind background
+    // quanta, under priority/deadline they preempt the queue.
+    std::vector<ThreadRef<double>> fg;
+    for (int i = 0; i < 6; ++i) {
+      fg.push_back(
+          StartThreadNamed("fg", mode == 2 ? 1 : 10, server, &Server::Request, Now()));
+      Work(kMillisecond);
+    }
+    double total = 0.0;
+    for (auto& t : fg) {
+      total += t.Join();
+    }
+    avg_latency = total / 6.0;
+    for (auto& t : bg) {
+      t.Join();
+    }
+  });
+  std::printf("%-28s avg interactive latency: %7.2f ms\n", label, avg_latency);
+  return avg_latency;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Replaceable scheduler objects (par. 2.1): 6 interactive requests vs 4\n");
+  std::printf("background jobs on a 2-CPU node.\n\n");
+  const double fifo = RunWorkload("FIFO (system default)", 0);
+  const double prio = RunWorkload("PriorityRunQueue", 1);
+  const double ddl = RunWorkload("DeadlineRunQueue (custom)", 2);
+  if (prio < fifo && ddl < fifo) {
+    std::printf("\ncustom policies cut interactive latency %.1fx without touching the app\n",
+                fifo / prio);
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Distributed blocked matrix multiply: C = A x B.
+//
+// A second domain workload exercising the placement idioms the paper's
+// model is built around:
+//   * A is split into row-panel objects, one placed on each node;
+//   * B is marked immutable — every node's first use installs a local
+//     replica instead of shipping threads back and forth (§2.3);
+//   * one worker thread per processor per panel computes in parallel;
+//   * the result panels stay distributed; the driver gathers them at the
+//     end (threads migrate to each panel to read it).
+//
+// Usage: matmul [nodes procs n]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/core/amber.h"
+
+namespace {
+
+using namespace amber;
+
+// CVAX-era cost of one fused multiply-add in the inner loop.
+constexpr Duration kFlopCost = kMicrosecond * 3;
+
+// An immutable operand matrix (B), row-major n x n.
+class Matrix : public Object {
+ public:
+  explicit Matrix(int n) : n_(n), data_(static_cast<size_t>(n) * n) {}
+  void FillDeterministic(uint64_t seed) {
+    for (size_t i = 0; i < data_.size(); ++i) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      data_[i] = static_cast<double>(seed >> 40) / 1048576.0;
+    }
+  }
+  double At(int r, int c) const { return data_[static_cast<size_t>(r) * n_ + c]; }
+  int n() const { return n_; }
+  // Direct access for co-resident readers (§3.6 performance feature).
+  const double* raw() const { return data_.data(); }
+
+ private:
+  int n_;
+  std::vector<double> data_;
+};
+
+// A row panel of A (and of the result C).
+class Panel : public Object {
+ public:
+  Panel(int row0, int rows, int n) : row0_(row0), rows_(rows), n_(n) {
+    a_.assign(static_cast<size_t>(rows) * n_, 0.0);
+    c_.assign(static_cast<size_t>(rows) * n_, 0.0);
+  }
+
+  void FillDeterministic(uint64_t seed) {
+    seed += static_cast<uint64_t>(row0_) * 0x9e3779b97f4a7c15ULL;
+    for (size_t i = 0; i < a_.size(); ++i) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      a_[i] = static_cast<double>(seed >> 40) / 1048576.0;
+    }
+  }
+
+  // Computes rows [lo, hi) of this panel against B. Invoked by worker
+  // threads that migrated here; B is immutable so B.Call reads a local
+  // replica after the first touch.
+  int ComputeRows(Ref<Matrix> b, int lo, int hi) {
+    const Matrix* bm = b.unchecked();  // replica is local after first Call
+    b.Call(&Matrix::n);                // ensure the replica is installed
+    for (int r = lo; r < hi; ++r) {
+      for (int c = 0; c < n_; ++c) {
+        double acc = 0.0;
+        for (int k = 0; k < n_; ++k) {
+          acc += a_[static_cast<size_t>(r) * n_ + k] * bm->At(k, c);
+        }
+        c_[static_cast<size_t>(r) * n_ + c] = acc;
+      }
+      // One output row costs n columns x n FMAs.
+      Work(static_cast<Duration>(n_) * n_ * kFlopCost);
+    }
+    return hi - lo;
+  }
+
+  double Checksum() {
+    double sum = 0.0;
+    for (double v : c_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+  int rows() const { return rows_; }
+
+ private:
+  int row0_;
+  int rows_;
+  int n_;
+  std::vector<double> a_;
+  std::vector<double> c_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nodes = 4;
+  int procs = 2;
+  int n = 96;
+  if (argc >= 3) {
+    nodes = std::atoi(argv[1]);
+    procs = std::atoi(argv[2]);
+  }
+  if (argc >= 4) {
+    n = std::atoi(argv[3]);
+  }
+
+  Runtime::Config config;
+  config.nodes = nodes;
+  config.procs_per_node = procs;
+  Runtime rt(config);
+
+  double checksum = 0.0;
+  Time solve = 0;
+  rt.Run([&] {
+    // B: one immutable operand, replicated on demand.
+    auto b = New<Matrix>(n);
+    b.Call(&Matrix::FillDeterministic, uint64_t{7});
+    MakeImmutable(b);
+
+    // A/C row panels, one per node.
+    std::vector<Ref<Panel>> panels;
+    const int rows_per = (n + Nodes() - 1) / Nodes();
+    for (NodeId node = 0; node < Nodes(); ++node) {
+      const int row0 = node * rows_per;
+      const int rows = std::min(rows_per, n - row0);
+      if (rows <= 0) {
+        break;
+      }
+      auto p = NewOn<Panel>(node, row0, rows, n);
+      p.Call(&Panel::FillDeterministic, uint64_t{13});
+      panels.push_back(p);
+    }
+
+    const Time t0 = Now();
+    std::vector<ThreadRef<int>> workers;
+    for (auto& p : panels) {
+      const int rows = p.Call(&Panel::rows);
+      const int per = (rows + ProcsPerNode() - 1) / ProcsPerNode();
+      for (int w = 0; w < ProcsPerNode(); ++w) {
+        const int lo = w * per;
+        const int hi = std::min(rows, lo + per);
+        if (lo >= hi) {
+          break;
+        }
+        workers.push_back(StartThread(p, &Panel::ComputeRows, b, lo, hi));
+      }
+    }
+    for (auto& t : workers) {
+      t.Join();
+    }
+    solve = Now() - t0;
+    for (auto& p : panels) {
+      checksum += p.Call(&Panel::Checksum);
+    }
+  });
+
+  std::printf("C = A x B, n=%d on %d nodes x %d processors\n", n, nodes, procs);
+  std::printf("virtual solve time: %.2f s, checksum %.6e\n", amber::ToSeconds(solve), checksum);
+  std::printf("replicas of B installed: %lld (one per remote node)\n",
+              static_cast<long long>(rt.replicas_installed()));
+  std::printf("network: %lld messages, %.1f KB\n",
+              static_cast<long long>(rt.network().messages()),
+              static_cast<double>(rt.network().bytes_sent()) / 1024.0);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Red/Black Successive Over-Relaxation — the paper's application (§6).
+//
+// Computes the steady-state temperature over a square plate (Laplace's
+// equation, Dirichlet boundary) by red/black SOR. The Amber decomposition
+// follows Figure 1 exactly:
+//
+//   * the grid is split into column-strip Section objects, one per strip,
+//     placed round-robin across nodes;
+//   * each section has a set of *compute threads* updating its points in
+//     parallel, two *edge threads* exchanging boundary columns with the
+//     neighbouring sections (by remote invocation of PutEdge — one network
+//     transaction per edge per color), and one *convergence thread*
+//     reporting the section's residual to a single Master object;
+//   * edge transfer of one color is overlapped with computation of the
+//     other color when Params::overlap is set (the paper's key structuring
+//     technique; the 8Nx4P overlap-on/off pair in Figure 2).
+//
+// The sequential baseline (RunSequential) performs bitwise-identical
+// arithmetic, so correctness tests can require exact grid equality.
+
+#ifndef AMBER_SRC_APPS_SOR_SOR_H_
+#define AMBER_SRC_APPS_SOR_SOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/core/runtime.h"
+
+namespace sor {
+
+using amber::Duration;
+using amber::Time;
+
+struct Params {
+  int rows = 122;  // the paper's grid: 122 × 842
+  int cols = 842;
+  int sections = 8;             // column strips (paper: 8; 6 for 3/6-node runs)
+  int threads_per_section = 0;  // 0 = auto: max(1, total processors / sections)
+  bool overlap = true;          // overlap edge exchange with computation
+  double omega = 1.5;           // over-relaxation factor
+  double boundary_top = 100.0;  // fixed temperature along the top edge
+  double tolerance = 0.0;       // 0 disables convergence (run max_iterations)
+  int max_iterations = 50;
+  Duration point_cost = amber::Micros(30);  // CVAX-era cost of one update (~7 FLOPs at ~0.25 MFLOPS)
+};
+
+struct Result {
+  int iterations = 0;
+  double final_delta = 0.0;
+  Time solve_time = 0;     // virtual time of the solve phase
+  uint64_t grid_hash = 0;  // FNV-1a over the full grid's bit patterns
+  std::vector<double> grid;  // row-major rows × cols (filled if keep_grid)
+  int64_t net_messages = 0;
+  int64_t net_bytes = 0;
+  int64_t thread_migrations = 0;
+};
+
+// Runs the sequential C++ baseline inside `rt` (typically a 1-node/1-CPU
+// runtime) and returns timing + the converged grid.
+Result RunSequential(amber::Runtime& rt, const Params& params, bool keep_grid = false);
+
+// Runs the Amber-parallel program inside `rt`, distributing sections across
+// all of rt's nodes.
+Result RunAmber(amber::Runtime& rt, const Params& params, bool keep_grid = false);
+
+// Convenience: builds a Runtime for `nodes` × `procs` with the given cost
+// model and runs the Amber program in it.
+Result RunAmberOn(int nodes, int procs, const Params& params, const sim::CostModel& cost,
+                  bool keep_grid = false);
+
+// The sequential baseline on a 1×1 machine with the same cost model.
+Result RunSequentialOn(const Params& params, const sim::CostModel& cost, bool keep_grid = false);
+
+}  // namespace sor
+
+#endif  // AMBER_SRC_APPS_SOR_SOR_H_

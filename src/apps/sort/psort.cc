@@ -1,0 +1,321 @@
+#include "src/apps/sort/psort.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+#include "src/base/rng.h"
+#include "src/core/amber.h"
+
+namespace psort {
+namespace {
+
+using amber::MakeImmutable;
+using amber::MoveTo;
+using amber::New;
+using amber::NewOn;
+using amber::NodeId;
+using amber::Object;
+using amber::Ref;
+using amber::StartThreadNamed;
+using amber::ThreadRef;
+using amber::Work;
+
+// log2-ish factor for n log n cost accounting.
+int64_t Log2Ceil(int64_t n) {
+  int64_t bits = 0;
+  while ((int64_t{1} << bits) < n) {
+    ++bits;
+  }
+  return std::max<int64_t>(bits, 1);
+}
+
+// The P-1 splitters, published once and replicated everywhere.
+class Splitters : public Object {
+ public:
+  void Set(std::vector<uint64_t> values) { values_ = std::move(values); }
+  std::vector<uint64_t> Get() const { return values_; }
+  int64_t AmberPayloadBytes() const override {
+    return static_cast<int64_t>(values_.size() * sizeof(uint64_t));
+  }
+
+ private:
+  std::vector<uint64_t> values_;
+};
+
+// A bucket of keys destined for one node. Moves between phases.
+class Bucket : public Object {
+ public:
+  void Add(std::vector<uint64_t> keys) { keys_ = std::move(keys); }
+  std::vector<uint64_t> Take() { return std::move(keys_); }
+  int64_t AmberPayloadBytes() const override {
+    return static_cast<int64_t>(keys_.size() * sizeof(uint64_t));
+  }
+
+ private:
+  std::vector<uint64_t> keys_;
+};
+
+// One node's portion of the computation.
+class Block : public Object {
+ public:
+  Block(int index, int64_t count, uint64_t seed) : index_(index) {
+    amber::Rng rng(seed + static_cast<uint64_t>(index) * 0x9e3779b97f4a7c15ULL);
+    keys_.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      keys_.push_back(rng.Next());
+    }
+  }
+
+  // Phase 1: local sort + sample extraction.
+  std::vector<uint64_t> SortAndSample(int samples, Duration key_op_cost) {
+    std::sort(keys_.begin(), keys_.end());
+    const auto n = static_cast<int64_t>(keys_.size());
+    Work(n * Log2Ceil(n) * key_op_cost);
+    std::vector<uint64_t> sample;
+    for (int s = 0; s < samples; ++s) {
+      sample.push_back(keys_[static_cast<size_t>((n * (s + 1)) / (samples + 1))]);
+    }
+    return sample;
+  }
+
+  // Phase 2: split the sorted block by the splitters into per-node runs,
+  // storing each into the corresponding Bucket object (created locally).
+  std::vector<Ref<Bucket>> Partition(Ref<Splitters> splitters, Duration key_op_cost) {
+    const std::vector<uint64_t> cuts = splitters.Call(&Splitters::Get);  // replica read
+    std::vector<Ref<Bucket>> buckets;
+    size_t begin = 0;
+    for (size_t part = 0; part <= cuts.size(); ++part) {
+      size_t end = keys_.size();
+      if (part < cuts.size()) {
+        end = static_cast<size_t>(
+            std::lower_bound(keys_.begin(), keys_.end(), cuts[part]) - keys_.begin());
+      }
+      auto bucket = New<Bucket>();
+      bucket.Call(&Bucket::Add,
+                  std::vector<uint64_t>(keys_.begin() + static_cast<long>(begin),
+                                        keys_.begin() + static_cast<long>(end)));
+      buckets.push_back(bucket);
+      begin = end;
+    }
+    Work(static_cast<int64_t>(keys_.size()) * key_op_cost);  // one pass
+    keys_.clear();
+    return buckets;
+  }
+
+  // Phase 3: merge the runs destined for this node into the final output.
+  int64_t MergeRuns(std::vector<std::vector<uint64_t>> runs, Duration key_op_cost) {
+    int64_t total = 0;
+    for (const auto& r : runs) {
+      total += static_cast<int64_t>(r.size());
+    }
+    out_.clear();
+    out_.reserve(static_cast<size_t>(total));
+    for (auto& r : runs) {
+      out_.insert(out_.end(), r.begin(), r.end());
+    }
+    std::sort(out_.begin(), out_.end());  // k-way merge modeled as sort of runs
+    Work(total * Log2Ceil(std::max<int64_t>(2, static_cast<int64_t>(runs.size()))) *
+         key_op_cost);
+    return total;
+  }
+
+  std::vector<uint64_t> TakeOutput() { return std::move(out_); }
+  int64_t AmberPayloadBytes() const override {
+    return static_cast<int64_t>((keys_.size() + out_.size()) * sizeof(uint64_t));
+  }
+
+ private:
+  const int index_;
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> out_;
+};
+
+}  // namespace
+
+uint64_t KeysetChecksum(const std::vector<uint64_t>& keys) {
+  // Commutative mix so the checksum identifies the multiset regardless of
+  // partitioning or order.
+  uint64_t sum = 0;
+  uint64_t xr = 0;
+  for (uint64_t k : keys) {
+    uint64_t z = k + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    sum += z;
+    xr ^= z;
+  }
+  return sum ^ (xr * 0x94d049bb133111ebULL);
+}
+
+Result RunAmber(amber::Runtime& rt, const Params& params) {
+  Result result;
+  rt.Run([&] {
+    const int nodes = rt.nodes();
+    const int64_t per_node = params.keys / nodes;
+
+    // Setup: one block per node, pre-filled with its keys (input
+    // distribution is the problem statement, not part of the measured sort).
+    std::vector<Ref<Block>> blocks;
+    for (NodeId n = 0; n < nodes; ++n) {
+      blocks.push_back(NewOn<Block>(n, n, per_node, params.seed));
+    }
+    auto splitters = New<Splitters>();
+
+    const amber::Time t0 = amber::Now();
+    // --- Phase 1: parallel local sort + sampling --------------------------
+    std::vector<ThreadRef<std::vector<uint64_t>>> sorters;
+    for (auto& b : blocks) {
+      sorters.push_back(StartThreadNamed("sort", 0, b, &Block::SortAndSample,
+                                         params.samples_per_node, params.key_op_cost));
+    }
+    std::vector<uint64_t> all_samples;
+    for (auto& t : sorters) {
+      const auto s = t.Join();
+      all_samples.insert(all_samples.end(), s.begin(), s.end());
+    }
+    result.phase1_end = amber::Now() - t0;
+
+    // Master: choose splitters, publish immutably.
+    std::sort(all_samples.begin(), all_samples.end());
+    std::vector<uint64_t> cuts;
+    for (int p = 1; p < nodes; ++p) {
+      cuts.push_back(all_samples[static_cast<size_t>(
+          (static_cast<int64_t>(all_samples.size()) * p) / nodes)]);
+    }
+    splitters.Call(&Splitters::Set, cuts);
+    MakeImmutable(splitters);
+
+    // --- Phase 2: partition into buckets -----------------------------------
+    std::vector<ThreadRef<std::vector<Ref<Bucket>>>> partitioners;
+    for (auto& b : blocks) {
+      partitioners.push_back(StartThreadNamed("part", 0, b, &Block::Partition, splitters,
+                                              params.key_op_cost));
+    }
+    // buckets[src][dst]
+    std::vector<std::vector<Ref<Bucket>>> buckets;
+    for (auto& t : partitioners) {
+      buckets.push_back(t.Join());
+    }
+
+    // --- Reorganization (or not) -------------------------------------------
+    if (params.reorganize) {
+      // Move every bucket to its destination node: the phase boundary
+      // object shuffle MoveTo exists for. Done in parallel by threads.
+      class Mover : public Object {
+       public:
+        int MoveAll(std::vector<Ref<Bucket>> row, int src) {
+          for (size_t dst = 0; dst < row.size(); ++dst) {
+            if (static_cast<NodeId>(dst) != static_cast<NodeId>(src)) {
+              MoveTo(row[dst], static_cast<NodeId>(dst));
+            }
+          }
+          return 0;
+        }
+      };
+      std::vector<ThreadRef<int>> movers;
+      for (int src = 0; src < nodes; ++src) {
+        auto m = NewOn<Mover>(src);
+        movers.push_back(
+            StartThreadNamed("move", 0, m, &Mover::MoveAll, buckets[static_cast<size_t>(src)],
+                             src));
+      }
+      for (auto& t : movers) {
+        t.Join();
+      }
+    }
+    result.reorg_end = amber::Now() - t0;
+
+    // --- Phase 3: merge on each destination node ---------------------------
+    class Merger : public Object {
+     public:
+      int64_t Gather(Ref<Block> block, std::vector<Ref<Bucket>> incoming,
+                     Duration key_op_cost) {
+        std::vector<std::vector<uint64_t>> runs;
+        for (auto& b : incoming) {
+          // If the bucket was moved here this is a local call; otherwise
+          // the thread travels to the bucket and carries the keys back.
+          runs.push_back(b.Call(&Bucket::Take));
+        }
+        return block.Call(&Block::MergeRuns, runs, key_op_cost);
+      }
+    };
+    std::vector<ThreadRef<int64_t>> mergers;
+    for (NodeId dst = 0; dst < nodes; ++dst) {
+      std::vector<Ref<Bucket>> incoming;
+      for (int src = 0; src < nodes; ++src) {
+        incoming.push_back(buckets[static_cast<size_t>(src)][static_cast<size_t>(dst)]);
+      }
+      auto m = NewOn<Merger>(dst);
+      mergers.push_back(StartThreadNamed("merge", 0, m, &Merger::Gather,
+                                         blocks[static_cast<size_t>(dst)], incoming,
+                                         params.key_op_cost));
+    }
+    int64_t total_keys = 0;
+    for (auto& t : mergers) {
+      total_keys += t.Join();
+    }
+    result.solve_time = amber::Now() - t0;
+    AMBER_CHECK(total_keys == per_node * nodes);
+
+    // --- Verification (host-side, unmeasured) -------------------------------
+    std::vector<uint64_t> gathered;
+    uint64_t prev_max = 0;
+    result.sorted = true;
+    for (NodeId n = 0; n < nodes; ++n) {
+      const auto out = blocks[static_cast<size_t>(n)].Call(&Block::TakeOutput);
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (i > 0 && out[i] < out[i - 1]) {
+          result.sorted = false;
+        }
+      }
+      if (!out.empty()) {
+        if (n > 0 && out.front() < prev_max) {
+          result.sorted = false;
+        }
+        prev_max = out.back();
+      }
+      gathered.insert(gathered.end(), out.begin(), out.end());
+    }
+    result.checksum = KeysetChecksum(gathered);
+  });
+  result.net_messages = rt.network().messages();
+  result.net_bytes = rt.network().bytes_sent();
+  result.objects_moved = rt.objects_moved();
+  return result;
+}
+
+Result RunSequentialOn(const Params& params, const sim::CostModel& cost) {
+  amber::Runtime::Config config;
+  config.nodes = 1;
+  config.procs_per_node = 1;
+  config.cost = cost;
+  config.arena_bytes = size_t{256} << 20;
+  amber::Runtime rt(config);
+  Result result;
+  rt.Run([&] {
+    amber::Rng rng(params.seed);
+    std::vector<uint64_t> keys;
+    keys.reserve(static_cast<size_t>(params.keys));
+    for (int64_t i = 0; i < params.keys; ++i) {
+      keys.push_back(rng.Next());
+    }
+    const amber::Time t0 = amber::Now();
+    std::sort(keys.begin(), keys.end());
+    Work(params.keys * Log2Ceil(params.keys) * params.key_op_cost);
+    result.solve_time = amber::Now() - t0;
+    result.sorted = std::is_sorted(keys.begin(), keys.end());
+    result.checksum = KeysetChecksum(keys);
+  });
+  return result;
+}
+
+Result RunAmberOn(int nodes, int procs, const Params& params, const sim::CostModel& cost) {
+  amber::Runtime::Config config;
+  config.nodes = nodes;
+  config.procs_per_node = procs;
+  config.cost = cost;
+  config.arena_bytes = size_t{512} << 20;
+  amber::Runtime rt(config);
+  return RunAmber(rt, params);
+}
+
+}  // namespace psort

@@ -1,0 +1,69 @@
+// Distributed sample sort — the §2.3 phase-reorganization workload.
+//
+// "Dynamic mobility is useful because some applications will need to
+// reorganize object locations following different computational phases of
+// a program."
+//
+// Sample sort is exactly such a program:
+//   phase 1  each node sorts its local block of keys;
+//   -        a master collects samples and publishes P-1 splitters as an
+//            immutable (replicated) object;
+//   phase 2  each node partitions its block into one Bucket object per
+//            destination node;
+//   reorg    every bucket is *moved* to its destination — the bulk object
+//            transfers between phases that MoveTo exists for;
+//   phase 3  each node merges the buckets it received into its final run.
+//
+// The `reorganize` knob selects how phase 3 reaches the data:
+//   true  — buckets migrate (one bulk transfer each; merge is then local);
+//   false — buckets stay put and each merger fetches their contents by
+//           remote invocation (thread round trips carrying the keys back).
+// Both produce identical output; the bench compares their costs.
+
+#ifndef AMBER_SRC_APPS_SORT_PSORT_H_
+#define AMBER_SRC_APPS_SORT_PSORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/core/runtime.h"
+
+namespace psort {
+
+using amber::Duration;
+using amber::Time;
+
+struct Params {
+  int64_t keys = 64 * 1024;  // total keys, split evenly over the nodes
+  uint64_t seed = 1;
+  bool reorganize = true;    // move buckets between phases (vs remote fetch)
+  int samples_per_node = 16;
+  Duration key_op_cost = amber::Micros(4);  // CPU per compare/copy step
+};
+
+struct Result {
+  Time solve_time = 0;
+  bool sorted = false;        // globally sorted, verified host-side
+  uint64_t checksum = 0;      // order-independent key checksum (multiset id)
+  int64_t net_messages = 0;
+  int64_t net_bytes = 0;
+  int64_t objects_moved = 0;
+  Time phase1_end = 0;        // local sort done
+  Time reorg_end = 0;         // buckets in place / fetched
+};
+
+// Order-independent checksum of a key set (for multiset preservation).
+uint64_t KeysetChecksum(const std::vector<uint64_t>& keys);
+
+// Distributed sample sort across all of rt's nodes.
+Result RunAmber(amber::Runtime& rt, const Params& params);
+
+// Single-CPU baseline (same cost accounting).
+Result RunSequentialOn(const Params& params, const sim::CostModel& cost);
+
+Result RunAmberOn(int nodes, int procs, const Params& params, const sim::CostModel& cost);
+
+}  // namespace psort
+
+#endif  // AMBER_SRC_APPS_SORT_PSORT_H_

@@ -1,0 +1,398 @@
+#include "src/apps/tsp/tsp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/base/panic.h"
+#include "src/base/rng.h"
+#include "src/core/amber.h"
+
+namespace tsp {
+namespace {
+
+using amber::Here;
+using amber::Lock;
+using amber::MakeImmutable;
+using amber::MonitorGuard;
+using amber::MoveTo;
+using amber::New;
+using amber::NewOn;
+using amber::NodeId;
+using amber::Object;
+using amber::Ref;
+using amber::Runtime;
+using amber::StartThreadNamed;
+using amber::ThreadRef;
+using amber::Work;
+
+// The immutable distance matrix: replicated to every node on first use.
+class Distances : public Object {
+ public:
+  Distances(int cities, uint64_t seed) : n_(cities) {
+    data_ = MakeDistances(cities, seed);
+  }
+  int n() const { return n_; }
+  double At(int a, int b) const { return data_[static_cast<size_t>(a) * n_ + b]; }
+  // Cheapest edge leaving each city — the admissible lower-bound table.
+  double MinOut(int city) const { return min_out_[static_cast<size_t>(city)]; }
+  void Finalize() {
+    min_out_.assign(static_cast<size_t>(n_), std::numeric_limits<double>::infinity());
+    for (int a = 0; a < n_; ++a) {
+      for (int b = 0; b < n_; ++b) {
+        if (a != b) {
+          min_out_[static_cast<size_t>(a)] = std::min(min_out_[static_cast<size_t>(a)], At(a, b));
+        }
+      }
+    }
+  }
+  int Touch() { return n_; }  // forces replica installation
+
+ private:
+  int n_;
+  std::vector<double> data_;
+  std::vector<double> min_out_;
+};
+
+// A subproblem: a fixed tour prefix starting at city 0.
+struct Prefix {
+  double cost;
+  int length;
+  int order[16];  // cities in visit order (bounded by kMaxCities)
+};
+constexpr int kMaxCities = 16;
+
+// The incumbent best tour: a monitor invoked from every node.
+class Best : public Object {
+ public:
+  explicit Best(int cities) : cities_(cities) {
+    cost_ = std::numeric_limits<double>::infinity();
+  }
+
+  double Get() {
+    MonitorGuard g(lock_);
+    return cost_;
+  }
+
+  // Returns the (possibly better) global bound.
+  double Offer(double cost, std::vector<int> tour) {
+    MonitorGuard g(lock_);
+    if (cost < cost_) {
+      cost_ = cost;
+      tour_ = std::move(tour);
+    }
+    return cost_;
+  }
+
+  std::vector<int> Tour() {
+    MonitorGuard g(lock_);
+    return tour_;
+  }
+
+ private:
+  Lock lock_;
+  const int cities_;
+  double cost_;
+  std::vector<int> tour_;
+};
+
+// The central work pool of tour prefixes.
+class WorkPool : public Object {
+ public:
+  void Fill(std::vector<Prefix> items) {
+    MonitorGuard g(lock_);
+    items_ = std::move(items);
+    total_ = static_cast<int64_t>(items_.size());
+  }
+
+  // Returns the next subproblem, or one with length == 0 when drained.
+  Prefix Take() {
+    MonitorGuard g(lock_);
+    Prefix p{};
+    if (!items_.empty()) {
+      p = items_.back();
+      items_.pop_back();
+    }
+    return p;
+  }
+
+  int64_t total() const { return total_; }
+
+ private:
+  Lock lock_;
+  std::vector<Prefix> items_;
+  int64_t total_ = 0;
+};
+
+// Generates all prefixes of the given depth with their costs (the pool
+// contents), pruning nothing — pruning happens in the workers.
+void GeneratePrefixes(const Distances& d, int depth, std::vector<Prefix>* out) {
+  Prefix seed{};
+  seed.cost = 0.0;
+  seed.length = 1;
+  seed.order[0] = 0;
+  std::vector<Prefix> frontier{seed};
+  for (int level = 1; level < depth; ++level) {
+    std::vector<Prefix> next;
+    for (const Prefix& p : frontier) {
+      for (int city = 1; city < d.n(); ++city) {
+        bool used = false;
+        for (int i = 0; i < p.length; ++i) {
+          used |= p.order[i] == city;
+        }
+        if (used) {
+          continue;
+        }
+        Prefix q = p;
+        q.cost += d.At(q.order[q.length - 1], city);
+        q.order[q.length++] = city;
+        next.push_back(q);
+      }
+    }
+    frontier = std::move(next);
+  }
+  *out = std::move(frontier);
+}
+
+// Depth-first branch-and-bound under a prefix; returns expansions counted.
+// `bound` is the caller's (possibly stale) copy of the global bound; it is
+// tightened locally whenever a better complete tour is found.
+struct SearchState {
+  const Distances* d;
+  double bound;
+  double best_local;
+  std::vector<int> best_tour;
+  int64_t expansions = 0;
+};
+
+void Search(SearchState* s, int* order, bool* used, int length, double cost) {
+  ++s->expansions;
+  const int n = s->d->n();
+  if (length == n) {
+    const double total = cost + s->d->At(order[n - 1], order[0]);
+    if (total < s->best_local) {
+      s->best_local = total;
+      s->best_tour.assign(order, order + n);
+      s->bound = std::min(s->bound, total);
+    }
+    return;
+  }
+  // Admissible remaining-cost bound: every unvisited city (and the current
+  // one) must be left at least once.
+  double remaining = s->d->MinOut(order[length - 1]);
+  for (int c = 0; c < n; ++c) {
+    if (!used[c]) {
+      remaining += s->d->MinOut(c);
+    }
+  }
+  if (cost + remaining >= s->bound) {
+    return;  // pruned
+  }
+  for (int c = 1; c < n; ++c) {
+    if (used[c]) {
+      continue;
+    }
+    used[c] = true;
+    order[length] = c;
+    Search(s, order, used, length + 1, cost + s->d->At(order[length - 1], c));
+    used[c] = false;
+  }
+}
+
+// A worker: takes prefixes from the pool, solves their subtrees, offers
+// improvements to the incumbent. One Worker object per node; its threads
+// run on that node (the distance replica and the worker are co-resident).
+class Worker : public Object {
+ public:
+  struct Outcome {
+    int64_t expansions;
+    int64_t taken;
+  };
+
+  Outcome Run(Ref<Distances> dist, Ref<WorkPool> pool, Ref<Best> best, Params params) {
+    dist.Call(&Distances::Touch);  // install the replica on this node
+    const Distances* d = dist.unchecked();
+    Outcome out{0, 0};
+    double bound = best.Call(&Best::Get);
+    int64_t since_refresh = 0;
+    for (;;) {
+      const Prefix p = pool.Call(&WorkPool::Take);
+      if (p.length == 0) {
+        break;
+      }
+      ++out.taken;
+      SearchState state;
+      state.d = d;
+      state.bound = bound;
+      state.best_local = bound;
+      int order[kMaxCities];
+      bool used[kMaxCities] = {};
+      for (int i = 0; i < p.length; ++i) {
+        order[i] = p.order[i];
+        used[p.order[i]] = true;
+      }
+      // Expand the subtree, charging CPU and refreshing the bound in
+      // chunks: the search itself runs host-side between charge points.
+      const int64_t before = state.expansions;
+      Search(&state, order, used, p.length, p.cost);
+      const int64_t expanded = state.expansions - before;
+      out.expansions += expanded;
+      Work(expanded * params.expand_cost);
+      since_refresh += expanded;
+      if (!params.share_bounds) {
+        // Isolated mode (for the sharing ablation): keep improvements to
+        // ourselves until the end; prune only with our own discoveries.
+        // The per-node record is shared by this node's worker threads:
+        // min-merge so no thread's optimum is overwritten by a worse tour.
+        if (state.best_local < bound) {
+          bound = state.best_local;
+          if (local_best_tour_.empty() || bound < local_best_cost_) {
+            local_best_cost_ = bound;
+            local_best_tour_ = state.best_tour;
+          }
+        }
+        continue;
+      }
+      if (state.best_local < bound) {
+        bound = best.Call(&Best::Offer, state.best_local, state.best_tour);
+      } else if (since_refresh >= params.bound_refresh) {
+        bound = best.Call(&Best::Get);
+        since_refresh = 0;
+      }
+    }
+    if (!params.share_bounds && !local_best_tour_.empty()) {
+      best.Call(&Best::Offer, local_best_cost_, local_best_tour_);
+    }
+    return out;
+  }
+
+ private:
+  double local_best_cost_ = 0.0;
+  std::vector<int> local_best_tour_;
+};
+
+}  // namespace
+
+std::vector<double> MakeDistances(int cities, uint64_t seed) {
+  AMBER_CHECK(cities >= 3 && cities <= kMaxCities);
+  amber::Rng rng(seed);
+  std::vector<double> d(static_cast<size_t>(cities) * cities, 0.0);
+  // Random points on a 1000x1000 plane, Euclidean distances (metric, so
+  // bounds behave sensibly).
+  std::vector<double> x(static_cast<size_t>(cities));
+  std::vector<double> y(static_cast<size_t>(cities));
+  for (int i = 0; i < cities; ++i) {
+    x[static_cast<size_t>(i)] = rng.NextDouble() * 1000.0;
+    y[static_cast<size_t>(i)] = rng.NextDouble() * 1000.0;
+  }
+  for (int a = 0; a < cities; ++a) {
+    for (int b = 0; b < cities; ++b) {
+      const double dx = x[static_cast<size_t>(a)] - x[static_cast<size_t>(b)];
+      const double dy = y[static_cast<size_t>(a)] - y[static_cast<size_t>(b)];
+      d[static_cast<size_t>(a) * cities + b] = std::sqrt(dx * dx + dy * dy);
+    }
+  }
+  return d;
+}
+
+Result RunSequential(amber::Runtime& rt, const Params& params) {
+  Result result;
+  rt.Run([&] {
+    auto dist = New<Distances>(params.cities, params.seed);
+    dist.Call(&Distances::Finalize);
+    const Distances* d = dist.unchecked();
+    // Process the same prefix pool in the same (LIFO) order as the parallel
+    // workers, carrying the incumbent across subtrees — so speedup numbers
+    // compare identical search strategies and are not inflated by the
+    // classic B&B exploration-order anomaly.
+    std::vector<Prefix> items;
+    GeneratePrefixes(*d, params.prefix_depth, &items);
+    result.pool_items = static_cast<int64_t>(items.size());
+    const Time t0 = amber::Now();
+    double bound = std::numeric_limits<double>::infinity();
+    for (auto it = items.rbegin(); it != items.rend(); ++it) {
+      SearchState state;
+      state.d = d;
+      state.bound = bound;
+      state.best_local = bound;
+      int order[kMaxCities];
+      bool used[kMaxCities] = {};
+      for (int i = 0; i < it->length; ++i) {
+        order[i] = it->order[i];
+        used[it->order[i]] = true;
+      }
+      Search(&state, order, used, it->length, it->cost);
+      Work(state.expansions * params.expand_cost);
+      result.expansions += state.expansions;
+      if (state.best_local < bound) {
+        bound = state.best_local;
+        result.best_tour = state.best_tour;
+      }
+    }
+    result.best_cost = bound;
+    result.solve_time = amber::Now() - t0;
+  });
+  return result;
+}
+
+Result RunAmber(amber::Runtime& rt, const Params& params) {
+  Result result;
+  rt.Run([&] {
+    auto dist = New<Distances>(params.cities, params.seed);
+    dist.Call(&Distances::Finalize);
+    MakeImmutable(dist);
+    auto best = New<Best>(params.cities);
+    auto pool = New<WorkPool>();
+    {
+      std::vector<Prefix> items;
+      GeneratePrefixes(*dist.unchecked(), params.prefix_depth, &items);
+      result.pool_items = static_cast<int64_t>(items.size());
+      pool.Call(&WorkPool::Fill, items);
+    }
+
+    net::Network& net = rt.network();
+    const int64_t msgs0 = net.messages();
+    const int64_t bytes0 = net.bytes_sent();
+    const Time t0 = amber::Now();
+    std::vector<ThreadRef<Worker::Outcome>> threads;
+    for (NodeId n = 0; n < rt.nodes(); ++n) {
+      auto worker = NewOn<Worker>(n);
+      for (int w = 0; w < params.workers_per_node; ++w) {
+        threads.push_back(StartThreadNamed("tsp-" + std::to_string(n) + "-" + std::to_string(w),
+                                           0, worker, &Worker::Run, dist, pool, best, params));
+      }
+    }
+    for (auto& t : threads) {
+      const Worker::Outcome out = t.Join();
+      result.expansions += out.expansions;
+    }
+    result.solve_time = amber::Now() - t0;
+    result.best_cost = best.Call(&Best::Get);
+    result.best_tour = best.Call(&Best::Tour);
+    result.net_messages = net.messages() - msgs0;
+    result.net_bytes = net.bytes_sent() - bytes0;
+  });
+  return result;
+}
+
+Result RunSequentialOn(const Params& params, const sim::CostModel& cost) {
+  amber::Runtime::Config config;
+  config.nodes = 1;
+  config.procs_per_node = 1;
+  config.cost = cost;
+  config.arena_bytes = size_t{256} << 20;
+  amber::Runtime rt(config);
+  return RunSequential(rt, params);
+}
+
+Result RunAmberOn(int nodes, int procs, const Params& params, const sim::CostModel& cost) {
+  amber::Runtime::Config config;
+  config.nodes = nodes;
+  config.procs_per_node = procs;
+  config.cost = cost;
+  config.arena_bytes = size_t{256} << 20;
+  amber::Runtime rt(config);
+  return RunAmber(rt, params);
+}
+
+}  // namespace tsp

@@ -1,0 +1,68 @@
+// Distributed branch-and-bound TSP on Amber.
+//
+// A second application exercising the model on an irregular, dynamic
+// workload (the paper's SOR is regular and static; §6 notes this makes
+// partitioning easy — TSP is the opposite case):
+//
+//   * the distance matrix is an *immutable* object: every node's first use
+//     installs a local replica (§2.3 replication);
+//   * a central WorkPool object hands out subproblems (tour prefixes);
+//     worker threads on every node invoke Take remotely — function shipping
+//     keeps pool state consistent with hardware synchronization on its node;
+//   * the incumbent best tour is a monitor object; workers refresh their
+//     local bound copy every `bound_refresh` expansions, trading
+//     communication against pruning efficiency (see bench_tsp).
+//
+// Correctness anchor: the sequential solver is exhaustive branch-and-bound;
+// any parallel configuration must find a tour of exactly the same cost.
+
+#ifndef AMBER_SRC_APPS_TSP_TSP_H_
+#define AMBER_SRC_APPS_TSP_TSP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/core/runtime.h"
+
+namespace tsp {
+
+using amber::Duration;
+using amber::Time;
+
+struct Params {
+  int cities = 11;
+  uint64_t seed = 1;         // deterministic random symmetric distances
+  int prefix_depth = 3;      // subproblem granularity (pool items)
+  int workers_per_node = 2;  // worker threads per node
+  int bound_refresh = 64;    // expansions between global-bound refreshes
+  bool share_bounds = true;  // offer/refresh the incumbent during the run
+  Duration expand_cost = amber::Micros(40);  // CPU per B&B node expansion
+};
+
+struct Result {
+  double best_cost = 0.0;
+  std::vector<int> best_tour;
+  Time solve_time = 0;
+  int64_t expansions = 0;  // B&B nodes expanded (all workers)
+  int64_t pool_items = 0;
+  int64_t net_messages = 0;
+  int64_t net_bytes = 0;
+};
+
+// Generates the symmetric distance matrix for (cities, seed).
+std::vector<double> MakeDistances(int cities, uint64_t seed);
+
+// Exhaustive branch-and-bound on one simulated CPU.
+Result RunSequential(amber::Runtime& rt, const Params& params);
+
+// Distributed solve across all of rt's nodes.
+Result RunAmber(amber::Runtime& rt, const Params& params);
+
+// Convenience wrappers that build the Runtime.
+Result RunSequentialOn(const Params& params, const sim::CostModel& cost);
+Result RunAmberOn(int nodes, int procs, const Params& params, const sim::CostModel& cost);
+
+}  // namespace tsp
+
+#endif  // AMBER_SRC_APPS_TSP_TSP_H_

@@ -1,0 +1,63 @@
+#include "src/base/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace amber {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+LogTimeSource g_time_source = nullptr;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+// Strips the path down to the basename so log lines stay short.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogTimeSource(LogTimeSource source) { g_time_source = source; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) {
+  stream_ << "[" << LevelName(level) << "] ";
+  if (g_time_source != nullptr) {
+    // Virtual time in microseconds with millisecond grouping reads best for
+    // the latency ranges Amber operates in (µs..s).
+    const int64_t ns = g_time_source();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t=%.3fms ", static_cast<double>(ns) / 1e6);
+    stream_ << buf;
+  }
+  stream_ << Basename(file) << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace internal
+}  // namespace amber

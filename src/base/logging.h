@@ -1,0 +1,58 @@
+// Leveled logging for the Amber runtime.
+//
+// Logging is stream-based and cheap when disabled: the message expression is
+// not evaluated unless the level is enabled. The simulator injects the current
+// virtual time into log lines when available (see SetTimeSource).
+
+#ifndef AMBER_SRC_BASE_LOGGING_H_
+#define AMBER_SRC_BASE_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+
+namespace amber {
+
+enum class LogLevel : int {
+  kTrace = 0,  // per-event detail (descriptor checks, dispatches)
+  kDebug = 1,  // per-operation detail (moves, RPCs)
+  kInfo = 2,   // lifecycle and results
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Returns / sets the global minimum level actually emitted. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Optional provider of the current virtual time in nanoseconds, stamped on
+// every log line. Pass nullptr to clear.
+using LogTimeSource = int64_t (*)();
+void SetLogTimeSource(LogTimeSource source);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // flushes to stderr
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace amber
+
+#define AMBER_LOG(level)                                       \
+  if (::amber::LogLevel::level < ::amber::GetLogLevel()) {     \
+  } else                                                       \
+    ::amber::internal::LogMessage(::amber::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // AMBER_SRC_BASE_LOGGING_H_

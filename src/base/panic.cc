@@ -1,0 +1,14 @@
+#include "src/base/panic.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amber {
+
+void Panic(const std::string& msg, const char* file, int line) {
+  std::fprintf(stderr, "panic: %s at %s:%d\n", msg.c_str(), file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace amber

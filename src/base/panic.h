@@ -1,0 +1,61 @@
+// Fatal-error handling for the Amber runtime.
+//
+// The runtime treats internal invariant violations as unrecoverable: a failed
+// check prints the message (with source location) and aborts. AMBER_CHECK is
+// always on; AMBER_DCHECK compiles away in NDEBUG builds and is used on hot
+// paths (descriptor lookups, context switches).
+
+#ifndef AMBER_SRC_BASE_PANIC_H_
+#define AMBER_SRC_BASE_PANIC_H_
+
+#include <sstream>
+#include <string>
+
+namespace amber {
+
+// Prints "panic: <msg> at <file>:<line>" to stderr and aborts.
+[[noreturn]] void Panic(const std::string& msg, const char* file, int line);
+
+namespace internal {
+
+// Stream-capturing helper so check macros can use `<<` message chaining.
+class PanicStream {
+ public:
+  PanicStream(const char* cond, const char* file, int line) : file_(file), line_(line) {
+    stream_ << "check failed: " << cond;
+  }
+  [[noreturn]] ~PanicStream() { Panic(stream_.str(), file_, line_); }
+
+  template <typename T>
+  PanicStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  const char* file_;
+  int line_;
+};
+
+}  // namespace internal
+}  // namespace amber
+
+#define AMBER_CHECK(cond)                                             \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::amber::internal::PanicStream(#cond, __FILE__, __LINE__) << ": "
+
+#define AMBER_PANIC(msg) \
+  ::amber::Panic((msg), __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define AMBER_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::amber::internal::PanicStream(#cond, __FILE__, __LINE__) << ": "
+#else
+#define AMBER_DCHECK(cond) AMBER_CHECK(cond)
+#endif
+
+#endif  // AMBER_SRC_BASE_PANIC_H_

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible, so all randomness flows through
+// explicitly seeded generators — never std::random_device or global state.
+// SplitMix64 seeds a xoshiro256** core; both are public-domain algorithms
+// (Blackman & Vigna) reimplemented here.
+
+#ifndef AMBER_SRC_BASE_RNG_H_
+#define AMBER_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/panic.h"
+
+namespace amber {
+
+// xoshiro256** seeded via SplitMix64. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  // the slight modulo bias is irrelevant for simulation tie-breaking but we
+  // reject to keep distributions exact for tests.
+  uint64_t Below(uint64_t bound) {
+    AMBER_DCHECK(bound > 0);
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    AMBER_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_BASE_RNG_H_

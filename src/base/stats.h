@@ -1,0 +1,111 @@
+// Statistics accumulators used by benchmarks and the network/CPU models.
+
+#ifndef AMBER_SRC_BASE_STATS_H_
+#define AMBER_SRC_BASE_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/base/panic.h"
+
+namespace amber {
+
+// Streaming accumulator: count/min/max/mean/stddev without storing samples.
+// Uses Welford's online algorithm for numerical stability.
+class Accumulator {
+ public:
+  void Add(double x) {
+    ++count_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const { return mean_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Reset() { *this = Accumulator(); }
+
+ private:
+  int64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Sample-retaining accumulator for percentile queries. Benchmarks that need
+// p50/p90/p99 use this; the streaming Accumulator covers everything else.
+class Samples {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return values_.size(); }
+
+  double Percentile(double p) {
+    AMBER_CHECK(!values_.empty()) << "percentile of empty sample set";
+    AMBER_CHECK(p >= 0.0 && p <= 100.0);
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    // Nearest-rank with linear interpolation between adjacent ranks.
+    const double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, values_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+  }
+
+  double Median() { return Percentile(50.0); }
+
+  double Mean() const {
+    if (values_.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (double v : values_) {
+      sum += v;
+    }
+    return sum / static_cast<double>(values_.size());
+  }
+
+  void Reset() {
+    values_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+// Monotonic counter group used by the network and kernel layers to report
+// traffic/operation totals (messages sent, bytes moved, faults taken...).
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_BASE_STATS_H_

@@ -1,0 +1,35 @@
+// Virtual time types.
+//
+// All simulated time is in integer nanoseconds. Integer (not floating-point)
+// time keeps the discrete-event simulation exactly reproducible: event
+// ordering never depends on rounding.
+
+#ifndef AMBER_SRC_BASE_TIME_H_
+#define AMBER_SRC_BASE_TIME_H_
+
+#include <cstdint>
+
+namespace amber {
+
+// A point in virtual time, nanoseconds since simulation start.
+using Time = int64_t;
+
+// A span of virtual time in nanoseconds.
+using Duration = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr double ToMicros(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+constexpr Duration Micros(double us) { return static_cast<Duration>(us * 1e3); }
+constexpr Duration Millis(double ms) { return static_cast<Duration>(ms * 1e6); }
+constexpr Duration Seconds(double s) { return static_cast<Duration>(s * 1e9); }
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_BASE_TIME_H_

@@ -1,0 +1,21 @@
+// Post-run cluster report: per-node utilization, scheduling activity,
+// thread-migration matrix, and network totals. Benchmarks and examples
+// print this to explain *why* a configuration performed as it did.
+
+#ifndef AMBER_SRC_CORE_CLUSTER_REPORT_H_
+#define AMBER_SRC_CORE_CLUSTER_REPORT_H_
+
+#include <string>
+
+#include "src/core/runtime.h"
+
+namespace amber {
+
+// Renders a human-readable report of the runtime's execution so far.
+// `elapsed` is the virtual time window the utilization is computed over
+// (typically Runtime::Run's return value).
+std::string ClusterReport(Runtime& rt, Time elapsed);
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_CORE_CLUSTER_REPORT_H_

@@ -1,0 +1,27 @@
+#include "src/core/object.h"
+
+#include "src/core/runtime.h"
+
+namespace amber {
+
+Object::Object() {
+  header_.magic = ObjectHeader::kMagic;
+  Runtime* rt = Runtime::CurrentOrNull();
+  if (rt != nullptr) {
+    rt->OnObjectConstruct(this);
+  } else {
+    // Constructed outside any runtime (host-side tests): behaves like a
+    // stack-local object — always co-resident, never checked.
+    header_.flags |= kObjStackLocal;
+  }
+}
+
+Object::~Object() {
+  Runtime* rt = Runtime::CurrentOrNull();
+  if (rt != nullptr) {
+    rt->OnObjectDestruct(this);
+  }
+  header_.magic = 0;
+}
+
+}  // namespace amber

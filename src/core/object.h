@@ -1,0 +1,56 @@
+// amber::Object — the base class of everything in the object space (§3.6).
+//
+// "Object descriptors are allocated and managed by deriving all user classes
+// from a single base class called Object whose private data items include
+// the descriptor. The constructor and destructor functions for the Object
+// class maintain the descriptor..."
+//
+// Construction discipline:
+//   * amber::New<T>(...) allocates a segment in the global object space and
+//     placement-constructs T there → a *primary*, independently mobile object.
+//   * An Object embedded by value inside another Object (a C++ member object)
+//     is detected during construction and marked kObjMember: it is always
+//     co-resident with — and moves with — its containing primary (§3.6).
+//   * An Object constructed on a thread's stack is marked kObjStackLocal:
+//     always co-resident with the running thread.
+
+#ifndef AMBER_SRC_CORE_OBJECT_H_
+#define AMBER_SRC_CORE_OBJECT_H_
+
+#include "src/kernel/object_header.h"
+
+namespace amber {
+
+class Runtime;
+
+class Object {
+ public:
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+
+  // The primary object whose location governs this object: itself if it is
+  // a primary, the containing object for members (transitively resolved at
+  // construction), nullptr for stack-local objects.
+  Object* AmberPrimary() {
+    return header_.IsMember() ? header_.primary : (header_.IsStackLocal() ? nullptr : this);
+  }
+  const ObjectHeader& amber_header() const { return header_; }
+
+  // Wire bytes of state held OUTSIDE the object's own segment (heap-backed
+  // vectors, strings...). Migration charges segment + this. Override it in
+  // classes with out-of-line state that should travel on moves — the manual
+  // serialization burden of the era; the default assumes none.
+  virtual int64_t AmberPayloadBytes() const { return 0; }
+
+ protected:
+  Object();
+  virtual ~Object();
+
+ private:
+  friend class Runtime;
+  ObjectHeader header_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_CORE_OBJECT_H_

@@ -1,0 +1,117 @@
+// Higher-level object placement policies.
+//
+// The paper deliberately leaves placement to "the program or higher-level
+// object placement software" (§2.3). This is that software: pluggable
+// policies that decide where to put the next object, built entirely on the
+// public mobility primitives — nothing here has privileged access to the
+// runtime.
+//
+//   RoundRobinPlacer  — cycle through the nodes (static balance).
+//   LoadAwarePlacer   — least instantaneous load (busy CPUs + run-queue).
+//   WeightedPlacer    — proportional to per-node weights (heterogeneous use).
+//
+// Usage:
+//   LoadAwarePlacer placer;
+//   auto section = placer.Place<Section>(args...);   // New + MoveTo
+
+#ifndef AMBER_SRC_CORE_PLACEMENT_H_
+#define AMBER_SRC_CORE_PLACEMENT_H_
+
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/core/amber.h"
+
+namespace amber {
+
+class Placer {
+ public:
+  virtual ~Placer() = default;
+
+  // The node the next object should be placed on.
+  virtual NodeId NextNode() = 0;
+
+  // Creates a T and places it according to the policy.
+  template <typename T, typename... A>
+  Ref<T> Place(A&&... args) {
+    Ref<T> ref = New<T>(std::forward<A>(args)...);
+    const NodeId target = NextNode();
+    if (target != Here()) {
+      MoveTo(ref, target);
+    }
+    return ref;
+  }
+};
+
+class RoundRobinPlacer : public Placer {
+ public:
+  explicit RoundRobinPlacer(NodeId first = 0) : next_(first) {}
+
+  NodeId NextNode() override {
+    const NodeId n = next_;
+    next_ = static_cast<NodeId>((next_ + 1) % Nodes());
+    return n;
+  }
+
+ private:
+  NodeId next_;
+};
+
+// Picks the node with the least instantaneous load (busy processors plus
+// run-queue length), breaking ties by lowest node id. Adaptive: placing a
+// compute-heavy object shifts subsequent placements elsewhere.
+class LoadAwarePlacer : public Placer {
+ public:
+  NodeId NextNode() override {
+    Runtime& rt = Runtime::Current();
+    NodeId best = 0;
+    int best_load = -1;
+    for (NodeId n = 0; n < rt.nodes(); ++n) {
+      const int load = rt.sim().BusyProcessors(n) + rt.sim().RunQueueLength(n);
+      if (best_load < 0 || load < best_load) {
+        best = n;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+};
+
+// Distributes placements proportionally to fixed weights — e.g. to favour
+// nodes with more memory or to keep a node half-idle for interactive work.
+class WeightedPlacer : public Placer {
+ public:
+  explicit WeightedPlacer(std::vector<int> weights) : weights_(std::move(weights)) {
+    AMBER_CHECK(!weights_.empty());
+    for (int w : weights_) {
+      AMBER_CHECK(w >= 0);
+      total_ += w;
+    }
+    AMBER_CHECK(total_ > 0) << "all weights zero";
+    credits_.assign(weights_.size(), 0);
+  }
+
+  NodeId NextNode() override {
+    AMBER_CHECK(weights_.size() == static_cast<size_t>(Nodes()))
+        << "weight count must match node count";
+    // Largest-accumulated-credit first (smooth weighted round-robin).
+    size_t best = 0;
+    for (size_t n = 0; n < weights_.size(); ++n) {
+      credits_[n] += weights_[n];
+      if (credits_[n] > credits_[best]) {
+        best = n;
+      }
+    }
+    credits_[best] -= total_;
+    return static_cast<NodeId>(best);
+  }
+
+ private:
+  std::vector<int> weights_;
+  std::vector<int64_t> credits_;
+  int total_ = 0;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_CORE_PLACEMENT_H_

@@ -1,0 +1,837 @@
+#include "src/core/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/base/logging.h"
+#include "src/base/panic.h"
+#include "src/core/object.h"
+#include "src/core/thread.h"
+#include "src/rpc/wire.h"
+
+namespace amber {
+namespace {
+
+Runtime* g_runtime = nullptr;
+
+// Wire size of the thread control state that travels with a migrating
+// thread, excluding the stack (registers, scheduling state, frame list).
+constexpr int64_t kThreadStateBytes = 96;
+// Size of location-protocol control messages (requests, acks, redirects).
+constexpr int64_t kControlBytes = 64;
+// Size of an asynchronous forwarding-hint update (path compaction, §3.3).
+constexpr int64_t kHintUpdateBytes = 32;
+// Per-object descriptor/bookkeeping bytes added to a move's bulk payload.
+constexpr int64_t kPerObjectMoveOverhead = 32;
+
+}  // namespace
+
+Runtime::Runtime(const Config& config) : config_(config) {
+  AMBER_CHECK(g_runtime == nullptr) << "only one Runtime may exist at a time";
+  sim::Kernel::Config kc;
+  kc.nodes = config.nodes;
+  kc.procs_per_node = config.procs_per_node;
+  kc.cost = config.cost;
+  sim_ = std::make_unique<sim::Kernel>(kc);
+  net_ = std::make_unique<net::Network>(sim_.get(), config.topology);
+  rpc_ = std::make_unique<rpc::Transport>(sim_.get(), net_.get());
+  gas_ = std::make_unique<mem::GlobalAddressSpace>(config.arena_bytes);
+  region_server_ = std::make_unique<mem::RegionServer>(gas_.get(), config.nodes,
+                                                       config.initial_regions_per_node);
+  for (NodeId n = 0; n < config.nodes; ++n) {
+    allocators_.push_back(std::make_unique<mem::SegmentAllocator>(gas_.get(), n));
+    for (int r = 0; r < config.initial_regions_per_node; ++r) {
+      allocators_.back()->AddRegion(n * config.initial_regions_per_node + r);
+    }
+    tables_.push_back(std::make_unique<DescriptorTable>(n));
+  }
+  migration_matrix_.assign(static_cast<size_t>(config.nodes) * config.nodes, 0);
+  sim_->SetResumeHook([this](sim::Fiber* f) { ResumeHook(f); });
+  g_runtime = this;
+}
+
+Runtime::~Runtime() {
+  // Destroy thread records (their std::function/vector state lives on the
+  // host heap); object segments disappear with the arena.
+  for (ThreadObject* t : threads_) {
+    t->~ThreadObject();
+  }
+  g_runtime = nullptr;
+}
+
+Runtime& Runtime::Current() {
+  AMBER_CHECK(g_runtime != nullptr) << "no Runtime is active";
+  return *g_runtime;
+}
+
+Runtime* Runtime::CurrentOrNull() { return g_runtime; }
+
+DescriptorTable& Runtime::table(NodeId node) {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  return *tables_[static_cast<size_t>(node)];
+}
+
+mem::SegmentAllocator& Runtime::allocator(NodeId node) {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  return *allocators_[static_cast<size_t>(node)];
+}
+
+NodeId Runtime::here() const {
+  sim::Fiber* f = sim_->current();
+  AMBER_CHECK(f != nullptr) << "not running on an Amber thread";
+  return f->node;
+}
+
+ThreadObject* Runtime::current_thread() const {
+  sim::Fiber* f = sim_->current();
+  AMBER_CHECK(f != nullptr) << "not running on an Amber thread";
+  auto* t = static_cast<ThreadObject*>(f->user_data);
+  AMBER_CHECK(t != nullptr);
+  return t;
+}
+
+// --- Program startup ----------------------------------------------------------
+
+Time Runtime::Run(std::function<void()> main) {
+  AMBER_CHECK(!ran_) << "a Runtime represents one program execution; construct a new one";
+  ran_ = true;
+  // Stamp log lines with virtual time for the duration of the run.
+  SetLogTimeSource(+[]() -> int64_t { return g_runtime != nullptr ? g_runtime->now() : 0; });
+  // The initial thread is materialized host-side on node 0 — program startup
+  // (§3: tasks created by Topaz facilities), not a charged runtime operation.
+  void* mem = allocators_[0]->Allocate(sizeof(ThreadObject));
+  AMBER_CHECK(mem != nullptr);
+  pending_.push_back(PendingAllocation{mem, sizeof(ThreadObject), nullptr});
+  auto* t = new (mem) ThreadObject();
+  AMBER_CHECK(pending_.back().primary == t);
+  pending_.pop_back();
+  t->header_.flags |= kObjThread;
+  t->header_.home = 0;
+  t->header_.owner = 0;
+  t->header_.size = sizeof(ThreadObject);
+  tables_[0]->SetResident(t);
+  t->name_ = "main";
+  t->body_ = std::move(main);
+  void* stack = allocators_[0]->Allocate(config_.stack_bytes);
+  AMBER_CHECK(stack != nullptr);
+  t->stack_base_ = stack;
+  t->fiber_ = sim_->Spawn(0, stack, config_.stack_bytes, [this, t] { ThreadMain(t); }, "main");
+  t->fiber_->user_data = t;
+  threads_.push_back(t);
+  const Time end = sim_->Run();
+  SetLogTimeSource(nullptr);
+  return end;
+}
+
+void Runtime::ThreadMain(ThreadObject* t) {
+  t->frames_.push_back(Frame{t});
+  t->body_();
+  sim_->Sync();
+  t->finished_ = true;
+  for (sim::Fiber* w : t->join_waiters_) {
+    sim_->Wake(w, sim_->Now());
+  }
+  t->join_waiters_.clear();
+  t->frames_.clear();
+}
+
+// --- Object construction --------------------------------------------------------
+
+void* Runtime::AllocateSegmentOnCurrentNode(size_t size) {
+  const NodeId node = here();
+  mem::SegmentAllocator& alloc = *allocators_[static_cast<size_t>(node)];
+  void* p = alloc.Allocate(size);
+  if (p != nullptr) {
+    return p;
+  }
+  // Pool exhausted: extend it through the address-space server (§3.1). A
+  // remote server costs a control RPC; the server node extends locally.
+  const NodeId server = region_server_->server_node();
+  int64_t region = -1;
+  if (node == server) {
+    sim_->Charge(cost().object_create);  // local bookkeeping for the grant
+    sim_->Sync();
+    region = region_server_->AcquireRegion(node);
+  } else {
+    rpc_->Roundtrip(server, kControlBytes, [this, node, &region]() -> int64_t {
+      region = region_server_->AcquireRegion(node);
+      return kControlBytes;
+    });
+  }
+  alloc.AddRegion(region);
+  p = alloc.Allocate(size);
+  AMBER_CHECK(p != nullptr);
+  return p;
+}
+
+void* Runtime::AllocateObjectMemory(size_t size) {
+  sim_->Charge(cost().object_create);
+  sim_->Sync();
+  void* p = AllocateSegmentOnCurrentNode(size);
+  // The descriptor is initialized at allocation time, on the allocating
+  // node (§3.2): the object is resident here from birth, even if its
+  // constructor migrates the creating thread.
+  tables_[static_cast<size_t>(here())]->SetResident(p);
+  pending_.push_back(PendingAllocation{p, size, nullptr});
+  return p;
+}
+
+void Runtime::AbandonObjectMemory(void* p) {
+  AMBER_CHECK(!pending_.empty() && pending_.back().base == p);
+  pending_.pop_back();
+  tables_[static_cast<size_t>(here())]->Erase(p);
+  allocator(gas_->HomeOf(p)).Free(p);
+}
+
+void Runtime::OnObjectConstruct(Object* obj) {
+  if (!pending_.empty()) {
+    PendingAllocation& p = pending_.back();
+    auto* base = static_cast<char*>(p.base);
+    auto* addr = reinterpret_cast<char*>(obj);
+    if (addr >= base && addr < base + p.size) {
+      if (p.primary == nullptr) {
+        AMBER_CHECK(addr == base) << "Object base must be the first subobject";
+        p.primary = obj;
+        const NodeId node = sim_->current() != nullptr ? here() : 0;
+        obj->header_.home = gas_->HomeOf(base);
+        obj->header_.owner = node;
+        obj->header_.size = p.size;
+      } else {
+        // A member object (§3.6): co-resident with — and moves with — the
+        // containing primary.
+        obj->header_.flags |= kObjMember;
+        obj->header_.primary = p.primary;
+      }
+      return;
+    }
+  }
+  obj->header_.flags |= kObjStackLocal;
+}
+
+void Runtime::OnObjectDestruct(Object* obj) {
+  // Primary objects are unregistered in DeleteObject (or at teardown);
+  // member/stack objects need nothing.
+  live_objects_.erase(obj);
+}
+
+void Runtime::FinishObjectConstruction(Object* obj) {
+  AMBER_CHECK(!pending_.empty() && pending_.back().primary == obj)
+      << "FinishObjectConstruction out of order";
+  pending_.pop_back();
+  live_objects_.insert(obj);
+  ++objects_created_;
+}
+
+void Runtime::DeleteObject(Object* obj) {
+  AMBER_CHECK(obj != nullptr);
+  ObjectHeader& h = obj->header_;
+  AMBER_CHECK(!h.IsMember() && !h.IsStackLocal()) << "delete the containing object";
+  AMBER_CHECK(!h.IsThread()) << "thread objects are reclaimed by Join";
+  AMBER_CHECK(h.attach_parent == nullptr) << "unattach before delete";
+  AMBER_CHECK(h.first_child == nullptr) << "unattach children before delete";
+  sim_->Charge(cost().object_destroy);
+  sim_->Sync();
+  const NodeId node = here();
+  AMBER_CHECK(tables_[static_cast<size_t>(node)]->IsResident(obj))
+      << "DeleteObject must run where the object is resident";
+  live_objects_.erase(obj);
+  tables_[static_cast<size_t>(node)]->Erase(obj);
+  const NodeId home = gas_->HomeOf(obj);
+  obj->~Object();  // virtual: destroys the complete object
+  allocator(home).Free(obj);
+}
+
+// --- Invocation protocol ---------------------------------------------------------
+
+void Runtime::EnterInvocation(Object* primary, int64_t args_wire_bytes) {
+  ThreadObject* t = current_thread();
+  // Frame push precedes the residency check (§3.5) so a concurrent move
+  // already sees this thread as bound to the object.
+  t->frames_.push_back(Frame{primary});
+  sim_->Charge(cost().local_invoke);
+  sim_->Sync();
+  EnsureResident(primary, args_wire_bytes);
+}
+
+void Runtime::ExitInvocation(int64_t result_wire_bytes) {
+  ThreadObject* t = current_thread();
+  AMBER_CHECK(t->frames_.size() > 1) << "invocation stack underflow";
+  t->frames_.pop_back();
+  sim_->Charge(cost().local_return);
+  sim_->Sync();
+  // Return-time check, made after the frame pop (§3.5): continue where the
+  // enclosing frame's object now lives.
+  EnsureResident(t->frames_.back().object, result_wire_bytes);
+}
+
+void Runtime::ResumeHook(sim::Fiber* f) {
+  auto* t = static_cast<ThreadObject*>(f->user_data);
+  if (t == nullptr || t->resolving_ || t->frames_.empty()) {
+    return;
+  }
+  // Context-switch-in residency check (§3.5): a thread bound to an object
+  // that moved while the thread was suspended chases it on dispatch.
+  EnsureResident(t->frames_.back().object, 0);
+}
+
+int64_t Runtime::ThreadPayloadBytes() const {
+  return kThreadStateBytes + cost().thread_ship_stack_bytes;
+}
+
+void Runtime::TravelThread(NodeId dst, int64_t extra_bytes) {
+  ThreadObject* t = current_thread();
+  const NodeId src = here();
+  AMBER_CHECK(dst != src);
+  // The thread object travels with the thread: forward at the source,
+  // resident at the destination. (Descriptors flip at departure; see
+  // DESIGN.md on the in-flight window.)
+  tables_[static_cast<size_t>(src)]->SetForward(t, dst);
+  tables_[static_cast<size_t>(dst)]->SetResident(t);
+  t->header_.owner = dst;
+  ++thread_migrations_;
+  migration_matrix_[static_cast<size_t>(src) * static_cast<size_t>(nodes()) +
+                    static_cast<size_t>(dst)] += 1;
+  const int64_t payload = ThreadPayloadBytes() + extra_bytes;
+  if (observer_ != nullptr) {
+    observer_->OnThreadMigrate(sim_->Now(), src, dst, t->name_, payload);
+  }
+  rpc_->Travel(dst, payload);
+}
+
+void Runtime::EnsureResident(Object* obj, int64_t payload_bytes) {
+  if (obj == nullptr) {
+    return;
+  }
+  ObjectHeader& h = obj->header_;
+  if (h.IsStackLocal()) {
+    return;
+  }
+  ThreadObject* t = current_thread();
+  if (t->resolving_) {
+    return;  // the outer resolution loop is already chasing
+  }
+  t->resolving_ = true;
+  // (node, stale hint) pairs visited on the way, for path compaction.
+  std::vector<std::pair<NodeId, NodeId>> visited;
+  int hops = 0;
+  for (;;) {
+    const NodeId cur = here();
+    const Descriptor d = tables_[static_cast<size_t>(cur)]->Lookup(obj);
+    if (d.state == Residency::kResident || d.state == Residency::kReplica) {
+      break;
+    }
+    NodeId target;
+    if (d.state == Residency::kRemoteHint) {
+      target = d.forward;
+    } else {
+      const NodeId home = gas_->HomeOf(obj);
+      AMBER_CHECK(home != kNoNode) << "reference outside the object space";
+      AMBER_CHECK(home != cur) << "dangling object reference (home has no descriptor)";
+      target = home;
+    }
+    if (h.IsImmutable()) {
+      // Immutable objects replicate to the reader instead of pulling the
+      // reader to them (§2.3).
+      AMBER_LOG(kTrace) << "EnsureResident: fetch replica of " << obj << " via " << target;
+      FetchReplica(obj, target);
+      continue;
+    }
+    if (hops > 0) {
+      ++forward_hops_;
+    }
+    ++hops;
+    AMBER_CHECK(hops <= 2 * nodes() + 4) << "forwarding chain did not terminate";
+    AMBER_LOG(kTrace) << "EnsureResident: chase " << obj << " " << cur << " -> " << target;
+    visited.emplace_back(cur, target);
+    TravelThread(target, payload_bytes);
+  }
+  // Path compaction (§3.3): every node along the chain learns the final
+  // location, via asynchronous hint updates.
+  const NodeId final_node = here();
+  for (const auto& [v, hint] : visited) {
+    if (v != final_node && hint != final_node) {
+      tables_[static_cast<size_t>(v)]->SetForward(obj, final_node);
+      net_->Send(final_node, v, kHintUpdateBytes, sim_->Now());
+    }
+  }
+  t->resolving_ = false;
+}
+
+NodeId Runtime::ResolveLocation(Object* obj) {
+  const NodeId cur = here();
+  Descriptor d = tables_[static_cast<size_t>(cur)]->Lookup(obj);
+  if (d.state == Residency::kResident) {
+    return cur;
+  }
+  NodeId target;
+  if (d.state == Residency::kRemoteHint) {
+    target = d.forward;
+  } else {
+    const NodeId home = gas_->HomeOf(obj);
+    AMBER_CHECK(home != kNoNode) << "reference outside the object space";
+    AMBER_CHECK(home != cur || d.state == Residency::kReplica)
+        << "dangling object reference (home has no descriptor)";
+    target = home;
+  }
+  int hops = 0;
+  std::vector<NodeId> visited{cur};
+  for (;;) {
+    AMBER_CHECK(++hops <= 2 * nodes() + 4) << "forwarding chain did not terminate";
+    if (target == cur) {
+      // A remote hint pointed back here; re-read our own table.
+      d = tables_[static_cast<size_t>(cur)]->Lookup(obj);
+      AMBER_CHECK(d.state == Residency::kRemoteHint || d.state == Residency::kResident);
+      if (d.state == Residency::kResident) {
+        target = cur;
+        break;
+      }
+      target = d.forward;
+      continue;
+    }
+    bool found = false;
+    NodeId next = kNoNode;
+    const NodeId probe = target;
+    rpc_->Roundtrip(probe, kControlBytes, [this, obj, probe, &found, &next]() -> int64_t {
+      const Descriptor dd = tables_[static_cast<size_t>(probe)]->Lookup(obj);
+      if (dd.state == Residency::kResident) {
+        found = true;
+      } else if (dd.state == Residency::kRemoteHint) {
+        next = dd.forward;
+      } else {
+        next = gas_->HomeOf(obj);
+      }
+      return kControlBytes;
+    });
+    if (found) {
+      break;
+    }
+    AMBER_CHECK(next != kNoNode);
+    visited.push_back(probe);
+    target = next;
+  }
+  // Path compaction for the nodes we probed.
+  for (NodeId v : visited) {
+    if (v != target) {
+      tables_[static_cast<size_t>(v)]->SetForward(obj, target);
+    }
+  }
+  return target;
+}
+
+void Runtime::FetchReplica(Object* obj, NodeId from) {
+  const NodeId cur = here();
+  NodeId target = from;
+  int hops = 0;
+  const int64_t obj_bytes = static_cast<int64_t>(obj->header_.size);
+  for (;;) {
+    AMBER_CHECK(++hops <= 2 * nodes() + 4) << "replica fetch chain did not terminate";
+    AMBER_LOG(kTrace) << "FetchReplica: " << obj << " probe " << target;
+    bool found = false;
+    NodeId next = kNoNode;
+    const NodeId probe = target;
+    rpc_->Roundtrip(probe, kControlBytes,
+                    [this, obj, probe, obj_bytes, &found, &next]() -> int64_t {
+                      const Descriptor dd = tables_[static_cast<size_t>(probe)]->Lookup(obj);
+                      if (dd.state == Residency::kResident || dd.state == Residency::kReplica) {
+                        found = true;
+                        return kControlBytes + obj_bytes;  // reply carries the object
+                      }
+                      next = dd.state == Residency::kRemoteHint ? dd.forward : gas_->HomeOf(obj);
+                      return kControlBytes;
+                    });
+    if (found) {
+      break;
+    }
+    AMBER_CHECK(next != kNoNode && next != probe);
+    target = next;
+  }
+  // Unmarshal locally (the real copy through a wire buffer).
+  sim_->Charge(cost().MarshalCost(obj_bytes));
+  rpc::WireBuffer wb;
+  wb.PutBytes(obj, obj->header_.size);
+  sim_->Sync();
+  // Two threads on one node can fetch concurrently; both pay the fetch but
+  // only one install is recorded. A stale forwarding hint is overwritten —
+  // the replica supersedes it.
+  const Residency st = tables_[static_cast<size_t>(cur)]->Lookup(obj).state;
+  if (st != Residency::kReplica && st != Residency::kResident) {
+    tables_[static_cast<size_t>(cur)]->SetReplica(obj);
+    ++replicas_installed_;
+    if (observer_ != nullptr) {
+      observer_->OnReplicaInstall(sim_->Now(), obj, cur);
+    }
+  }
+}
+
+// --- Mobility -----------------------------------------------------------------------
+
+void Runtime::CollectClosure(Object* obj, std::vector<Object*>* out) {
+  out->push_back(obj);
+  for (Object* c = obj->header_.first_child; c != nullptr; c = c->header_.next_sibling) {
+    CollectClosure(c, out);
+  }
+}
+
+int64_t Runtime::ClosureBytes(Object* obj) {
+  std::vector<Object*> closure;
+  CollectClosure(obj->AmberPrimary(), &closure);
+  int64_t total = 0;
+  for (Object* o : closure) {
+    total += static_cast<int64_t>(o->header_.size) + o->AmberPayloadBytes() +
+             kPerObjectMoveOverhead;
+  }
+  return total;
+}
+
+int64_t Runtime::FlipDescriptorsForMove(const std::vector<Object*>& closure, NodeId src,
+                                        NodeId dst) {
+  int64_t total = 0;
+  for (Object* o : closure) {
+    tables_[static_cast<size_t>(src)]->SetForward(o, dst);
+    tables_[static_cast<size_t>(dst)]->SetResident(o);
+    o->header_.owner = dst;
+    total += static_cast<int64_t>(o->header_.size) + o->AmberPayloadBytes() +
+             kPerObjectMoveOverhead;
+  }
+  return total;
+}
+
+uint64_t Runtime::SerializeClosure(const std::vector<Object*>& closure) {
+  rpc::WireBuffer wb;
+  for (Object* o : closure) {
+    wb.PutPointer(o);
+    wb.PutBytes(o, o->header_.size);
+  }
+  return wb.Checksum();
+}
+
+void Runtime::MoveTo(Object* obj, NodeId dst) {
+  AMBER_CHECK(obj != nullptr);
+  AMBER_CHECK(dst >= 0 && dst < nodes());
+  obj = obj->AmberPrimary();
+  AMBER_CHECK(obj != nullptr) << "cannot move a stack-local object";
+  ObjectHeader& h = obj->header_;
+  AMBER_CHECK(!h.IsThread()) << "thread objects move with their thread";
+  AMBER_CHECK(h.attach_parent == nullptr) << "unattach before moving an attached object";
+  sim_->Sync();
+
+  if (h.IsImmutable()) {
+    // §2.3: "Invoking MoveTo on an immutable object causes the object to be
+    // copied rather than moved."
+    ReplicateTo(obj, dst);
+    return;
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    AMBER_CHECK(attempt <= 2 * nodes() + 4) << "move could not catch the object";
+    AMBER_LOG(kTrace) << "MoveTo: attempt " << attempt << " obj " << obj << " dst " << dst;
+    const NodeId owner = ResolveLocation(obj);
+    if (owner == dst) {
+      return;
+    }
+    if (owner == here()) {
+      MoveOutLocal(obj, dst);
+      return;
+    }
+    if (RequestRemoteMove(obj, owner, dst)) {
+      return;
+    }
+  }
+}
+
+void Runtime::MoveOutLocal(Object* obj, NodeId dst) {
+  const NodeId src = here();
+  std::vector<Object*> closure;
+  CollectClosure(obj, &closure);
+  sim_->Charge(cost().move_setup);
+  sim_->Sync();
+  // §3.5 order: mark non-resident, then preempt every processor on this node
+  // so running threads make a fresh residency check, then transfer.
+  const int64_t total = FlipDescriptorsForMove(closure, src, dst);
+  sim_->RequestPreempt(src);
+  SerializeClosure(closure);
+  // SendBulk charges this thread for marshalling the payload, then occupies
+  // the wire; install completes after the destination's install cost.
+  sim::Fiber* self = sim_->current();
+  const Time arrive = rpc_->SendBulk(dst, total, nullptr);
+  const Time installed = arrive + cost().move_install;
+  sim_->Wake(self, installed);
+  sim_->Block();
+  ++objects_moved_;
+  if (observer_ != nullptr) {
+    observer_->OnObjectMove(sim_->Now(), obj, src, dst, total);
+  }
+}
+
+bool Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst) {
+  const NodeId cur = here();
+  AMBER_CHECK(owner != cur);
+  sim::Fiber* self = sim_->current();
+  bool accepted = false;
+  // Charge the request like any control send, then run the source side of
+  // the move at the owner (event context, latency model), then block until
+  // the destination's install acknowledgement.
+  sim_->Charge(cost().MarshalCost(kControlBytes) + cost().rpc_send_software);
+  sim_->Sync();
+  net_->Send(cur, owner, kControlBytes, sim_->Now(), [this, obj, owner, dst, cur, self, &accepted] {
+    if (!tables_[static_cast<size_t>(owner)]->IsResident(obj)) {
+      // The object moved on; NACK so the requester re-resolves.
+      const Time back = net_->Send(owner, cur, kControlBytes, sim_->Now());
+      sim_->Wake(self, back);
+      return;
+    }
+    accepted = true;
+    std::vector<Object*> closure;
+    CollectClosure(obj, &closure);
+    const int64_t total = FlipDescriptorsForMove(closure, owner, dst);
+    sim_->RequestPreempt(owner);
+    SerializeClosure(closure);
+    const Time depart =
+        sim_->Now() + cost().move_setup + cost().MarshalCost(total) + cost().rpc_send_software;
+    const Time arrive = net_->SendBulk(owner, dst, total, depart, nullptr);
+    const Time installed = arrive + cost().move_install;
+    if (dst == cur) {
+      sim_->Wake(self, installed);
+    } else {
+      const Time ack = net_->Send(dst, cur, kControlBytes, installed);
+      sim_->Wake(self, ack);
+    }
+    ++objects_moved_;
+    if (observer_ != nullptr) {
+      observer_->OnObjectMove(sim_->Now(), obj, owner, dst, total);
+    }
+  });
+  sim_->Block();
+  return accepted;
+}
+
+void Runtime::ReplicateTo(Object* obj, NodeId dst) {
+  if (tables_[static_cast<size_t>(dst)]->Lookup(obj).state != Residency::kUninitialized) {
+    return;  // dst already holds the object or a replica
+  }
+  const NodeId cur = here();
+  const int64_t obj_bytes = static_cast<int64_t>(obj->header_.size);
+  sim::Fiber* self = sim_->current();
+  if (tables_[static_cast<size_t>(cur)]->Lookup(obj).state != Residency::kUninitialized &&
+      dst != cur) {
+    // We hold the bytes: bulk-copy them to dst and install a replica.
+    SerializeClosure({obj});
+    const Time arrive = rpc_->SendBulk(dst, obj_bytes, nullptr);
+    const Time installed = arrive + cost().move_install;
+    tables_[static_cast<size_t>(dst)]->SetReplica(obj);
+    ++replicas_installed_;
+    if (observer_ != nullptr) {
+      observer_->OnReplicaInstall(installed, obj, dst);
+    }
+    sim_->Wake(self, installed);
+    sim_->Block();
+    return;
+  }
+  // Find a holder, then have it copy to dst.
+  const NodeId holder = ResolveLocation(obj);
+  if (holder == dst) {
+    return;
+  }
+  sim_->Charge(cost().MarshalCost(kControlBytes) + cost().rpc_send_software);
+  sim_->Sync();
+  net_->Send(cur, holder, kControlBytes, sim_->Now(), [this, obj, holder, dst, cur, self,
+                                                       obj_bytes] {
+    SerializeClosure({obj});
+    const Time depart = sim_->Now() + cost().MarshalCost(obj_bytes) + cost().rpc_send_software;
+    const Time arrive = net_->SendBulk(holder, dst, obj_bytes, depart, nullptr);
+    const Time installed = arrive + cost().move_install;
+    tables_[static_cast<size_t>(dst)]->SetReplica(obj);
+    ++replicas_installed_;
+    if (observer_ != nullptr) {
+      observer_->OnReplicaInstall(installed, obj, dst);
+    }
+    if (dst == cur) {
+      sim_->Wake(self, installed);
+    } else {
+      const Time ack = net_->Send(dst, cur, kControlBytes, installed);
+      sim_->Wake(self, ack);
+    }
+  });
+  sim_->Block();
+}
+
+NodeId Runtime::Locate(Object* obj) {
+  AMBER_CHECK(obj != nullptr);
+  obj = obj->AmberPrimary();
+  if (obj == nullptr) {
+    return here();  // stack-local: wherever this thread is
+  }
+  sim_->Charge(cost().local_invoke);
+  sim_->Sync();
+  return ResolveLocation(obj);
+}
+
+void Runtime::Attach(Object* child, Object* parent) {
+  AMBER_CHECK(child != nullptr && parent != nullptr);
+  child = child->AmberPrimary();
+  parent = parent->AmberPrimary();
+  AMBER_CHECK(child != nullptr && parent != nullptr) << "cannot attach stack-local objects";
+  AMBER_CHECK(child != parent);
+  AMBER_CHECK(!child->header_.IsThread() && !parent->header_.IsThread());
+  AMBER_CHECK(!child->header_.IsImmutable()) << "immutable objects replicate; do not attach them";
+  AMBER_CHECK(child->header_.attach_parent == nullptr) << "already attached";
+  // Reject cycles: parent must not be a descendant of child.
+  for (Object* a = parent; a != nullptr; a = a->header_.attach_parent) {
+    AMBER_CHECK(a != child) << "attachment cycle";
+  }
+  sim_->Charge(cost().local_invoke);
+  sim_->Sync();
+  // Attachment guarantees co-location (§2.3): bring the child to the parent.
+  const NodeId p = ResolveLocation(parent);
+  if (ResolveLocation(child) != p) {
+    MoveTo(child, p);
+  }
+  sim_->Sync();
+  child->header_.attach_parent = parent;
+  child->header_.next_sibling = parent->header_.first_child;
+  parent->header_.first_child = child;
+}
+
+void Runtime::Unattach(Object* child) {
+  AMBER_CHECK(child != nullptr);
+  child = child->AmberPrimary();
+  AMBER_CHECK(child != nullptr);
+  Object* parent = child->header_.attach_parent;
+  AMBER_CHECK(parent != nullptr) << "object is not attached";
+  sim_->Charge(cost().local_invoke);
+  sim_->Sync();
+  Object** link = &parent->header_.first_child;
+  while (*link != child) {
+    AMBER_CHECK(*link != nullptr) << "attachment list corrupt";
+    link = &(*link)->header_.next_sibling;
+  }
+  *link = child->header_.next_sibling;
+  child->header_.attach_parent = nullptr;
+  child->header_.next_sibling = nullptr;
+}
+
+void Runtime::MakeImmutable(Object* obj) {
+  AMBER_CHECK(obj != nullptr);
+  obj = obj->AmberPrimary();
+  AMBER_CHECK(obj != nullptr) << "cannot mark a stack-local object immutable";
+  AMBER_CHECK(!obj->header_.IsThread());
+  AMBER_CHECK(obj->header_.first_child == nullptr && obj->header_.attach_parent == nullptr)
+      << "detach before marking immutable";
+  sim_->Charge(cost().local_invoke);
+  sim_->Sync();
+  obj->header_.flags |= kObjImmutable;
+}
+
+NodeId Runtime::OwnerOf(const Object* obj) const {
+  const Object* p = const_cast<Object*>(obj)->AmberPrimary();
+  return p != nullptr ? p->amber_header().owner : kNoNode;
+}
+
+// --- Threads -------------------------------------------------------------------------
+
+ThreadObject* Runtime::CreateThread(std::function<void()> body, std::string name, int priority) {
+  sim_->Charge(cost().thread_create);
+  void* mem = AllocateObjectMemory(sizeof(ThreadObject));
+  auto* t = new (mem) ThreadObject();
+  FinishObjectConstruction(t);
+  t->header_.flags |= kObjThread;
+  t->name_ = name.empty() ? "thread-" + std::to_string(threads_.size()) : std::move(name);
+  t->body_ = std::move(body);
+  void* stack = AllocateSegmentOnCurrentNode(config_.stack_bytes);
+  t->stack_base_ = stack;
+  t->fiber_ =
+      sim_->Spawn(here(), stack, config_.stack_bytes, [this, t] { ThreadMain(t); }, t->name_);
+  t->fiber_->user_data = t;
+  t->fiber_->priority = priority;
+  threads_.push_back(t);
+  return t;
+}
+
+void Runtime::JoinWait(ThreadObject* t) {
+  AMBER_CHECK(t != nullptr);
+  AMBER_CHECK(!t->joined_) << "thread joined twice";
+  sim_->Charge(cost().join_sync);
+  sim_->Sync();
+  if (!t->finished_) {
+    t->join_waiters_.push_back(sim_->current());
+    sim_->Block();
+  }
+  t->joined_ = true;
+  if (!t->reaped_) {
+    t->reaped_ = true;
+    sim_->DestroyFiber(t->fiber_);
+    t->fiber_ = nullptr;
+    allocator(gas_->HomeOf(t->stack_base_)).Free(t->stack_base_);
+    t->stack_base_ = nullptr;
+  }
+}
+
+void Runtime::SetScheduler(NodeId node, std::unique_ptr<sim::RunQueue> queue) {
+  sim_->SetRunQueue(node, std::move(queue));
+}
+
+void Runtime::SetObserver(RuntimeObserver* observer) {
+  observer_ = observer;
+  if (observer != nullptr) {
+    net_->SetMessageObserver([this](Time depart, Time arrive, NodeId src, NodeId dst,
+                                    int64_t bytes) {
+      observer_->OnMessage(depart, arrive, src, dst, bytes);
+    });
+  } else {
+    net_->SetMessageObserver(nullptr);
+  }
+}
+
+// --- Validation -------------------------------------------------------------------------
+
+void Runtime::ValidateLocationInvariants() {
+  for (Object* obj : live_objects_) {
+    const ObjectHeader& h = obj->amber_header();
+    if (h.IsMember() || h.IsStackLocal()) {
+      continue;
+    }
+    // Exactly one node marks a mutable object resident, and it is the owner.
+    int resident_count = 0;
+    for (NodeId n = 0; n < nodes(); ++n) {
+      const Descriptor d = tables_[static_cast<size_t>(n)]->Lookup(obj);
+      if (d.state == Residency::kResident) {
+        ++resident_count;
+        AMBER_CHECK(n == h.owner) << "resident node " << n << " != owner " << h.owner;
+      }
+      AMBER_CHECK(h.IsImmutable() || d.state != Residency::kReplica)
+          << "replica of a mutable object";
+    }
+    AMBER_CHECK(resident_count == 1) << "object resident on " << resident_count << " nodes";
+    // Every forwarding chain terminates at the owner.
+    for (NodeId n = 0; n < nodes(); ++n) {
+      NodeId at = n;
+      int hops = 0;
+      for (;;) {
+        const Descriptor d = tables_[static_cast<size_t>(at)]->Lookup(obj);
+        if (d.state == Residency::kResident) {
+          break;
+        }
+        if (d.state == Residency::kReplica) {
+          AMBER_CHECK(h.IsImmutable());
+          break;
+        }
+        if (d.state == Residency::kUninitialized) {
+          const NodeId home = gas_->HomeOf(obj);
+          AMBER_CHECK(home != at) << "dangling home descriptor";
+          at = home;
+        } else {
+          at = d.forward;
+        }
+        AMBER_CHECK(++hops <= 2 * nodes()) << "forwarding chain does not terminate";
+      }
+    }
+    // Attachment groups are co-located.
+    for (Object* c = h.first_child; c != nullptr; c = c->amber_header().next_sibling) {
+      AMBER_CHECK(c->amber_header().owner == h.owner) << "attached child on different node";
+    }
+  }
+}
+
+}  // namespace amber

@@ -1,0 +1,269 @@
+// amber::Runtime — one simulated Amber machine: N multiprocessor nodes, the
+// global object space, per-node descriptor tables and allocators, and the
+// simulated interconnect.
+//
+// A Runtime is the unit of an experiment: construct one with a Config,
+// call Run(main) — main executes as the program's initial thread on node 0 —
+// and read the final virtual time and traffic statistics afterwards.
+//
+// The free-function programming surface (amber::New, Ref<T>::Call,
+// amber::MoveTo, StartThread, ...) lives in amber.h / ref.h / thread.h and
+// funnels into the protocol methods here.
+
+#ifndef AMBER_SRC_CORE_RUNTIME_H_
+#define AMBER_SRC_CORE_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/kernel/descriptor_table.h"
+#include "src/mem/address_space.h"
+#include "src/mem/region_server.h"
+#include "src/mem/segment_alloc.h"
+#include "src/net/network.h"
+#include "src/rpc/transport.h"
+#include "src/sim/kernel.h"
+
+namespace amber {
+
+class Object;
+class ThreadObject;
+
+// Observer of the runtime's distribution events (tracing, debugging).
+// Callbacks run at ordered points with virtual timestamps; they must not
+// call back into the runtime.
+class RuntimeObserver {
+ public:
+  virtual ~RuntimeObserver() = default;
+  virtual void OnThreadMigrate(Time when, NodeId src, NodeId dst, const std::string& thread,
+                               int64_t bytes) {}
+  virtual void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst, int64_t bytes) {}
+  virtual void OnReplicaInstall(Time when, const void* obj, NodeId node) {}
+  virtual void OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) {}
+};
+
+// An invocation-stack frame: user code in this frame runs inside `object`
+// (the primary), so the thread is *bound* to it (§3.5) until the frame pops.
+struct Frame {
+  Object* object;
+};
+
+class Runtime {
+ public:
+  struct Config {
+    int nodes = 1;
+    int procs_per_node = 1;
+    sim::CostModel cost;
+    net::Topology topology = net::Topology::kSharedBus;
+    size_t arena_bytes = size_t{2} << 30;
+    int initial_regions_per_node = 8;
+    size_t stack_bytes = 64 * 1024;
+    bool validate_invariants = false;  // run location-invariant checks at key points
+  };
+
+  explicit Runtime(const Config& config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // The runtime owning the calling code. Exactly one Runtime exists at a
+  // time (they represent whole machines).
+  static Runtime& Current();
+  static Runtime* CurrentOrNull();
+
+  // Runs `main` as the program's initial thread on node 0; returns the final
+  // virtual time after all threads finish and the event queue drains.
+  Time Run(std::function<void()> main);
+
+  // --- Invocation protocol (called by Ref<T>::Call and Join) ----------------
+
+  // Entry half of an invocation: pushes the frame (before the residency
+  // check, §3.5), charges the check, and migrates this thread to the
+  // object's node if it is not resident here.
+  void EnterInvocation(Object* primary, int64_t args_wire_bytes);
+
+  // Return half: charges the return check, pops the frame, and migrates back
+  // to the enclosing frame's object if that object is elsewhere.
+  void ExitInvocation(int64_t result_wire_bytes);
+
+  // --- Object lifecycle ------------------------------------------------------
+
+  // Allocates an object segment on the current node (charges creation cost,
+  // acquiring a fresh region from the address-space server if needed) and
+  // arms construction bookkeeping; New<T> placement-constructs into it.
+  void* AllocateObjectMemory(size_t size);
+  void AbandonObjectMemory(void* p);  // constructor threw
+  void FinishObjectConstruction(Object* obj);
+
+  // Destroys a primary object (must be invoked where it is resident — the
+  // call migrates there like any invocation). Runs the destructor and frees
+  // the segment.
+  void DeleteObject(Object* obj);
+
+  // Called from Object's constructor to classify primary/member/stack-local.
+  void OnObjectConstruct(Object* obj);
+  void OnObjectDestruct(Object* obj);
+
+  // --- Mobility (§2.3) --------------------------------------------------------
+
+  // Moves obj (and its attachment closure, and lazily its bound threads) to
+  // dst. Synchronous: returns when the object is installed. Moving an
+  // immutable object installs a copy at dst instead (§2.3).
+  void MoveTo(Object* obj, NodeId dst);
+
+  // Current location of obj (follows and compacts the forwarding chain).
+  NodeId Locate(Object* obj);
+
+  // Attaches child to parent: child becomes co-located with parent (moving
+  // it there now if needed) and moves whenever parent moves.
+  void Attach(Object* child, Object* parent);
+  void Unattach(Object* child);
+
+  // Marks obj immutable: it will never be modified again; remote access
+  // replicates instead of migrating.
+  void MakeImmutable(Object* obj);
+
+  // --- Threads ---------------------------------------------------------------
+
+  // Creates a thread object + stack + fiber on the current node running
+  // `body` (already wrapped by StartThread to invoke the target operation).
+  ThreadObject* CreateThread(std::function<void()> body, std::string name, int priority = 0);
+
+  // Blocks until t finishes (call with the joiner's frame already on t).
+  void JoinWait(ThreadObject* t);
+
+  ThreadObject* current_thread() const;
+
+  // Installs a scheduling policy on a node (§2.1 replaceable scheduler).
+  void SetScheduler(NodeId node, std::unique_ptr<sim::RunQueue> queue);
+
+  // Attaches a distribution-event observer (e.g. trace::Tracer). Call
+  // before Run(). Pass nullptr to detach.
+  void SetObserver(RuntimeObserver* observer);
+
+  // --- Time / work -------------------------------------------------------------
+
+  // Consumes d of CPU on the current thread's processor (the application's
+  // "computation"; subject to timeslicing and preemption).
+  void Work(Duration d) { sim_->Charge(d); }
+
+  NodeId here() const;
+  Time now() const { return sim_->Now(); }
+  int nodes() const { return sim_->nodes(); }
+  int procs_per_node() const { return sim_->procs_per_node(); }
+
+  // --- Plumbing / introspection --------------------------------------------------
+
+  sim::Kernel& sim() { return *sim_; }
+  net::Network& network() { return *net_; }
+  rpc::Transport& transport() { return *rpc_; }
+  const sim::CostModel& cost() const { return sim_->cost(); }
+  DescriptorTable& table(NodeId node);
+  mem::GlobalAddressSpace& address_space() { return *gas_; }
+  mem::SegmentAllocator& allocator(NodeId node);
+
+  // Authoritative location (validation/tests only — never the protocol).
+  NodeId OwnerOf(const Object* obj) const;
+
+  // Checks: each mutable object resident on exactly its owner node; all
+  // forwarding chains terminate; attachment groups co-located. Panics on
+  // violation.
+  void ValidateLocationInvariants();
+
+  // Sum of bytes of the attachment closure rooted at obj (move payload).
+  int64_t ClosureBytes(Object* obj);
+
+  int64_t objects_created() const { return objects_created_; }
+  int64_t objects_moved() const { return objects_moved_; }
+  int64_t replicas_installed() const { return replicas_installed_; }
+  int64_t thread_migrations() const { return thread_migrations_; }
+  int64_t forward_hops() const { return forward_hops_; }
+
+  // Thread migrations from src to dst (for the cluster report).
+  int64_t MigrationCount(NodeId src, NodeId dst) const {
+    return migration_matrix_[static_cast<size_t>(src) * static_cast<size_t>(nodes()) +
+                             static_cast<size_t>(dst)];
+  }
+
+ private:
+  friend class Object;
+
+  struct PendingAllocation {
+    void* base;
+    size_t size;
+    Object* primary;  // first Object constructed at base
+  };
+
+  // Makes the calling thread co-resident with obj, following the forwarding
+  // chain with thread hops (mutable) or replica fetches (immutable).
+  void EnsureResident(Object* obj, int64_t payload_bytes);
+
+  // Resolves obj's current location with control-message roundtrips from the
+  // current node, compacting stale hints along the way. Does not move the
+  // calling thread.
+  NodeId ResolveLocation(Object* obj);
+
+  // Fetches a replica of immutable obj from `from` (following the chain with
+  // further roundtrips if stale) and installs it locally.
+  void FetchReplica(Object* obj, NodeId from);
+
+  // Migrates the calling thread to dst carrying its state + extra payload.
+  void TravelThread(NodeId dst, int64_t extra_bytes);
+
+  // Executes the source side of a move at the owner == current node.
+  void MoveOutLocal(Object* obj, NodeId dst);
+  // Asks `owner` to move obj to dst (source side runs there in event
+  // context, latency model). Returns false if the object had moved on.
+  bool RequestRemoteMove(Object* obj, NodeId owner, NodeId dst);
+  // Installs a replica of immutable obj at dst (MoveTo-on-immutable, §2.3).
+  void ReplicateTo(Object* obj, NodeId dst);
+  // Entry wrapper for every thread fiber: root frame, body, joiner wakeup.
+  void ThreadMain(ThreadObject* t);
+
+  // Collects obj + transitive attachment children.
+  void CollectClosure(Object* obj, std::vector<Object*>* out);
+
+  // Flips descriptors for a moving closure at an ordered point: forward at
+  // src, resident at dst, owner updated. Returns total payload bytes.
+  int64_t FlipDescriptorsForMove(const std::vector<Object*>& closure, NodeId src, NodeId dst);
+
+  // Serializes closure contents and returns the checksum (real copy through
+  // a wire buffer — the bulk-transfer marshal).
+  uint64_t SerializeClosure(const std::vector<Object*>& closure);
+
+  // Estimate of the calling thread's migration payload (control block +
+  // live stack). Must run on the thread being sized.
+  int64_t ThreadPayloadBytes() const;
+
+  void* AllocateSegmentOnCurrentNode(size_t size);
+  void ResumeHook(sim::Fiber* f);
+
+  Config config_;
+  std::unique_ptr<sim::Kernel> sim_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<rpc::Transport> rpc_;
+  std::unique_ptr<mem::GlobalAddressSpace> gas_;
+  std::unique_ptr<mem::RegionServer> region_server_;
+  std::vector<std::unique_ptr<mem::SegmentAllocator>> allocators_;
+  std::vector<std::unique_ptr<DescriptorTable>> tables_;
+  std::vector<PendingAllocation> pending_;   // nested New stack
+  std::vector<ThreadObject*> threads_;       // for teardown
+  std::unordered_set<Object*> live_objects_;  // primaries, for validation
+  int64_t objects_created_ = 0;
+  int64_t objects_moved_ = 0;
+  int64_t replicas_installed_ = 0;
+  int64_t thread_migrations_ = 0;
+  int64_t forward_hops_ = 0;
+  std::vector<int64_t> migration_matrix_;  // nodes x nodes, row = source
+  RuntimeObserver* observer_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_CORE_RUNTIME_H_

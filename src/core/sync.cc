@@ -1,0 +1,177 @@
+#include "src/core/sync.h"
+
+#include "src/base/panic.h"
+#include "src/core/thread.h"
+
+namespace amber {
+namespace {
+
+sim::Kernel& K() { return Runtime::Current().sim(); }
+
+}  // namespace
+
+// --- SpinLock -----------------------------------------------------------------
+
+void SpinLock::Acquire() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().spin_op);
+  k.Sync();
+  ThreadObject* self = Runtime::Current().current_thread();
+  if (holder_ == nullptr) {
+    holder_ = self;
+    return;
+  }
+  AMBER_CHECK(holder_ != self) << "SpinLock is not recursive";
+  // Spin: keep the processor, wait for handoff. The processor stays busy
+  // for the whole wait — the defining cost/latency tradeoff of a
+  // non-relinquishing lock.
+  spinners_.push_back(k.current());
+  k.SpinWait();
+  AMBER_DCHECK(holder_ == self);  // FIFO handoff installed us
+}
+
+bool SpinLock::TryAcquire() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().spin_op);
+  k.Sync();
+  if (holder_ != nullptr) {
+    return false;
+  }
+  holder_ = Runtime::Current().current_thread();
+  return true;
+}
+
+void SpinLock::Release() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().spin_op);
+  k.Sync();
+  AMBER_CHECK(holder_ == Runtime::Current().current_thread())
+      << "SpinLock released by non-holder";
+  if (spinners_.empty()) {
+    holder_ = nullptr;
+    return;
+  }
+  sim::Fiber* next = spinners_.front();
+  spinners_.pop_front();
+  holder_ = static_cast<ThreadObject*>(next->user_data);
+  k.SpinResume(next, k.Now() + k.cost().spin_op);
+}
+
+// --- Lock ----------------------------------------------------------------------
+
+void Lock::Acquire() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().lock_op);
+  k.Sync();
+  ThreadObject* self = Runtime::Current().current_thread();
+  if (holder_ == nullptr) {
+    holder_ = self;
+    return;
+  }
+  AMBER_CHECK(holder_ != self) << "Lock is not recursive";
+  waiters_.push_back(k.current());
+  k.Block();
+  // Woken by a FIFO handoff that already installed us as holder.
+  AMBER_DCHECK(holder_ == self);
+}
+
+bool Lock::TryAcquire() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().lock_op);
+  k.Sync();
+  if (holder_ != nullptr) {
+    return false;
+  }
+  holder_ = Runtime::Current().current_thread();
+  return true;
+}
+
+bool Lock::HeldByCaller() const {
+  return holder_ != nullptr && holder_ == Runtime::Current().current_thread();
+}
+
+void Lock::ReleaseInternal() {
+  sim::Kernel& k = K();
+  if (waiters_.empty()) {
+    holder_ = nullptr;
+    return;
+  }
+  sim::Fiber* next = waiters_.front();
+  waiters_.pop_front();
+  holder_ = static_cast<ThreadObject*>(next->user_data);
+  k.Wake(next, k.Now() + k.cost().lock_op);
+}
+
+void Lock::Release() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().lock_op);
+  k.Sync();
+  AMBER_CHECK(holder_ == Runtime::Current().current_thread()) << "Lock released by non-holder";
+  ReleaseInternal();
+}
+
+// --- Condition -------------------------------------------------------------------
+
+void Condition::Wait(Lock& lock) {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().lock_op);
+  k.Sync();
+  AMBER_CHECK(lock.HeldByCaller()) << "Condition::Wait without holding the lock";
+  waiters_.push_back(k.current());
+  lock.ReleaseInternal();  // atomic with the wait: we are at an ordered point
+  k.Block();
+  // Signalled: re-acquire before returning (Mesa semantics — re-check your
+  // predicate in a loop).
+  lock.Acquire();
+}
+
+void Condition::Signal() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().lock_op);
+  k.Sync();
+  if (waiters_.empty()) {
+    return;
+  }
+  sim::Fiber* f = waiters_.front();
+  waiters_.pop_front();
+  k.Wake(f, k.Now() + k.cost().lock_op);
+}
+
+void Condition::Broadcast() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().lock_op);
+  k.Sync();
+  for (sim::Fiber* f : waiters_) {
+    k.Wake(f, k.Now() + k.cost().lock_op);
+  }
+  waiters_.clear();
+}
+
+// --- Barrier ----------------------------------------------------------------------
+
+Barrier::Barrier(int parties) : parties_(parties) {
+  AMBER_CHECK(parties >= 1) << "barrier needs at least one party";
+}
+
+int64_t Barrier::Wait() {
+  sim::Kernel& k = K();
+  k.Charge(k.cost().barrier_op);
+  k.Sync();
+  const int64_t my_phase = phase_;
+  if (++arrived_ < parties_) {
+    waiting_.push_back(k.current());
+    k.Block();
+    AMBER_DCHECK(phase_ > my_phase);
+  } else {
+    // Last arrival releases everyone and advances the phase.
+    arrived_ = 0;
+    ++phase_;
+    for (sim::Fiber* f : waiting_) {
+      k.Wake(f, k.Now() + k.cost().barrier_op);
+    }
+    waiting_.clear();
+  }
+  return my_phase;
+}
+
+}  // namespace amber

@@ -1,0 +1,126 @@
+// Synchronization objects (§2.2).
+//
+// "The system supports relinquishing and non-relinquishing locks, barrier
+// synchronization, monitors and condition variables."
+//
+// All of these are ordinary Amber objects: they can be member objects (and
+// then move with their container — the §3.6 fast-inline-lock pattern), they
+// can be moved and attached, and they can be invoked remotely through
+// Ref::Call, in which case the calling thread migrates to the lock's node —
+// the function-shipping answer to lock-page thrashing (§4.1).
+//
+// Two usage styles, both supported:
+//   * co-resident (member object): call methods directly — the §3.6 inline
+//     optimization. The methods still execute at ordered points.
+//   * distributed: invoke through Ref<Lock>::Call(&Lock::Acquire) etc.
+
+#ifndef AMBER_SRC_CORE_SYNC_H_
+#define AMBER_SRC_CORE_SYNC_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/core/object.h"
+#include "src/core/runtime.h"
+
+namespace amber {
+
+class ThreadObject;
+
+// Non-relinquishing lock: a waiting thread spins, keeping its processor
+// busy until the lock is handed over. Minimal latency, zero context
+// switches — for short critical sections among co-resident threads.
+class SpinLock : public Object {
+ public:
+  SpinLock() = default;
+
+  void Acquire();
+  bool TryAcquire();
+  void Release();
+  bool IsHeld() const { return holder_ != nullptr; }
+
+ private:
+  ThreadObject* holder_ = nullptr;
+  std::deque<sim::Fiber*> spinners_;
+};
+
+// Relinquishing lock: a waiting thread blocks and releases its processor.
+// FIFO handoff (no barging), so acquisition order is deterministic.
+class Lock : public Object {
+ public:
+  Lock() = default;
+
+  void Acquire();
+  bool TryAcquire();
+  void Release();
+  bool IsHeld() const { return holder_ != nullptr; }
+  bool HeldByCaller() const;
+
+ private:
+  friend class Condition;
+  void ReleaseInternal();  // handoff without the Sync (caller is ordered)
+
+  ThreadObject* holder_ = nullptr;
+  std::deque<sim::Fiber*> waiters_;
+};
+
+// Condition variable, used with a Lock the caller holds.
+class Condition : public Object {
+ public:
+  Condition() = default;
+
+  // Atomically releases `lock` and blocks; re-acquires before returning.
+  void Wait(Lock& lock);
+  void Signal();
+  void Broadcast();
+  int waiter_count() const { return static_cast<int>(waiters_.size()); }
+
+ private:
+  std::deque<sim::Fiber*> waiters_;
+};
+
+// RAII monitor-entry guard; Monitor below is the subclassing convenience.
+class MonitorGuard {
+ public:
+  explicit MonitorGuard(Lock& lock) : lock_(lock) { lock_.Acquire(); }
+  ~MonitorGuard() { lock_.Release(); }
+  MonitorGuard(const MonitorGuard&) = delete;
+  MonitorGuard& operator=(const MonitorGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+// Base class for monitored objects: derive, and wrap each operation body in
+// `MonitorGuard g(monitor_lock());`. The lock is a member object, so it is
+// always co-resident with the monitor (§3.6).
+class Monitor : public Object {
+ public:
+  Lock& monitor_lock() { return lock_; }
+
+ protected:
+  Monitor() = default;
+
+ private:
+  Lock lock_;
+};
+
+// Reusable N-party barrier. Wait returns the completed phase number.
+class Barrier : public Object {
+ public:
+  explicit Barrier(int parties);
+
+  int64_t Wait();
+  int parties() const { return parties_; }
+  int64_t phase() const { return phase_; }
+
+ private:
+  int parties_;
+  int arrived_ = 0;
+  int64_t phase_ = 0;
+  std::vector<sim::Fiber*> waiting_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_CORE_SYNC_H_

@@ -1,0 +1,414 @@
+#include "src/dsm/dsm.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+
+namespace dsm {
+namespace {
+
+constexpr int64_t kControlBytes = 48;  // fault requests, invalidations, acks
+
+}  // namespace
+
+Machine::Machine(const Config& config)
+    : config_(config), stacks_(64 * 1024), page_size_(config.page_size) {
+  AMBER_CHECK(config.page_size >= 64);
+  AMBER_CHECK(config.shared_bytes % config.page_size == 0);
+  sim::Kernel::Config kc;
+  kc.nodes = config.nodes;
+  kc.procs_per_node = config.procs_per_node;
+  kc.cost = config.cost;
+  kernel_ = std::make_unique<sim::Kernel>(kc);
+  net_ = std::make_unique<net::Network>(kernel_.get());
+  rpc_ = std::make_unique<rpc::Transport>(kernel_.get(), net_.get());
+  shared_.assign(static_cast<size_t>(config.shared_bytes), 0);
+  const int64_t n_pages = config.shared_bytes / config.page_size;
+  page_meta_.assign(static_cast<size_t>(n_pages), PageMeta{});
+  node_state_.assign(static_cast<size_t>(config.nodes),
+                     std::vector<PageState>(static_cast<size_t>(n_pages), PageState::kInvalid));
+  // Initially all pages are owned (writable) by their manager node.
+  for (int64_t p = 0; p < n_pages; ++p) {
+    page_meta_[static_cast<size_t>(p)].owner = ManagerOf(p);
+    node_state_[static_cast<size_t>(ManagerOf(p))][static_cast<size_t>(p)] = PageState::kWrite;
+  }
+  rpc_locks_.resize(64);
+}
+
+Machine::~Machine() = default;
+
+void Machine::Spawn(NodeId node, std::function<void()> fn, std::string name) {
+  void* stack = stacks_.Allocate();
+  kernel_->Spawn(node, stack, stacks_.stack_size(), std::move(fn), std::move(name));
+}
+
+Time Machine::Run() { return kernel_->Run(); }
+
+NodeId Machine::Here() const {
+  sim::Fiber* f = kernel_->current();
+  AMBER_CHECK(f != nullptr) << "not in process context";
+  return f->node;
+}
+
+int64_t Machine::PageOf(const void* addr) const {
+  const auto* p = static_cast<const uint8_t*>(addr);
+  AMBER_CHECK(p >= shared_.data() && p < shared_.data() + shared_.size())
+      << "address outside shared memory";
+  return (p - shared_.data()) / page_size_;
+}
+
+void Machine::Read(const void* addr, int64_t len) {
+  AMBER_CHECK(len > 0);
+  const int64_t first = PageOf(addr);
+  const int64_t last = PageOf(static_cast<const uint8_t*>(addr) + len - 1);
+  const NodeId here = Here();
+  for (int64_t p = first; p <= last; ++p) {
+    if (node_state_[static_cast<size_t>(here)][static_cast<size_t>(p)] == PageState::kInvalid) {
+      ReadFault(p);
+    }
+  }
+}
+
+void Machine::Write(void* addr, int64_t len) {
+  AMBER_CHECK(len > 0);
+  const int64_t first = PageOf(addr);
+  const int64_t last = PageOf(static_cast<uint8_t*>(addr) + len - 1);
+  const NodeId here = Here();
+  for (int64_t p = first; p <= last; ++p) {
+    if (config_.protocol == Protocol::kUpdate) {
+      // Update protocol: ensure a valid local copy, then push the written
+      // bytes to every other copy — nothing is invalidated.
+      if (node_state_[static_cast<size_t>(here)][static_cast<size_t>(p)] ==
+          PageState::kInvalid) {
+        ReadFault(p);
+      }
+      PropagateUpdate(p, std::min<int64_t>(len, page_size_));
+      continue;
+    }
+    if (node_state_[static_cast<size_t>(here)][static_cast<size_t>(p)] != PageState::kWrite) {
+      WriteFault(p);
+    }
+  }
+}
+
+void Machine::PropagateUpdate(int64_t page, int64_t len) {
+  const NodeId here = Here();
+  const auto& cost = kernel_->cost();
+  PageMeta& meta = page_meta_[static_cast<size_t>(page)];
+  meta.owner = here;  // last writer holds the master copy
+  if (std::find(meta.copyset.begin(), meta.copyset.end(), here) == meta.copyset.end()) {
+    meta.copyset.push_back(here);
+  }
+  bool any_remote = false;
+  for (NodeId r : meta.copyset) {
+    any_remote |= r != here;
+  }
+  if (!any_remote) {
+    return;  // sole copy: writes are free, as in the invalidate protocol
+  }
+  // One update message per remote copy, charged on the writer.
+  kernel_->Charge(cost.MarshalCost(len) + cost.rpc_send_software);
+  kernel_->Sync();
+  for (NodeId r : meta.copyset) {
+    if (r == here) {
+      continue;
+    }
+    updates_sent_.Add();
+    net_->Send(here, r, kControlBytes + len, kernel_->Now());
+  }
+}
+
+void Machine::ClaimPage(PageMeta* meta) {
+  sim::Fiber* self = kernel_->current();
+  while (meta->busy) {
+    meta->waiters.push_back(self);
+    kernel_->Block();
+  }
+  meta->busy = true;
+}
+
+void Machine::ReleasePageAt(PageMeta* meta, Time when) {
+  kernel_->Post(when, [this, meta] {
+    meta->busy = false;
+    for (sim::Fiber* w : meta->waiters) {
+      kernel_->Wake(w, kernel_->Now());
+    }
+    meta->waiters.clear();
+  });
+}
+
+void Machine::ReadFault(int64_t page) {
+  const NodeId faulter = Here();
+  sim::Fiber* self = kernel_->current();
+  const NodeId manager = ManagerOf(page);
+  const auto& cost = kernel_->cost();
+
+  // Fault software path on the faulting processor.
+  kernel_->Charge(cost.MarshalCost(kControlBytes) + cost.rpc_send_software);
+  kernel_->Sync();
+
+  PageMeta& meta = page_meta_[static_cast<size_t>(page)];
+  ClaimPage(&meta);
+  if (node_state_[static_cast<size_t>(faulter)][static_cast<size_t>(page)] !=
+      PageState::kInvalid) {
+    // Served while we queued (another thread on this node faulted it in).
+    ReleasePageAt(&meta, kernel_->Now());
+    return;
+  }
+  read_faults_.Add();
+  auto serve = [this, page, faulter, self, &meta](Time at_manager) {
+    // Manager adds the faulter to the copyset and has the owner send the
+    // page. (Executed at an ordered point; latencies composed explicitly.)
+    const NodeId owner = meta.owner;
+    if (std::find(meta.copyset.begin(), meta.copyset.end(), faulter) == meta.copyset.end()) {
+      meta.copyset.push_back(faulter);
+    }
+    if (std::find(meta.copyset.begin(), meta.copyset.end(), owner) == meta.copyset.end()) {
+      meta.copyset.push_back(owner);
+    }
+    // The owner drops to read state (single-writer rule: a read copy
+    // elsewhere means no one may write unimpeded).
+    node_state_[static_cast<size_t>(owner)][static_cast<size_t>(page)] = PageState::kRead;
+    const NodeId manager_node = ManagerOf(page);
+    Time transfer_start = at_manager;
+    if (owner != manager_node) {
+      transfer_start = net_->Send(manager_node, owner, kControlBytes, at_manager);
+    }
+    const Time arrived = owner == faulter
+                             ? transfer_start
+                             : net_->Send(owner, faulter, page_size_, transfer_start);
+    page_transfers_.Add();
+    kernel_->Post(arrived, [this, page, faulter, self] {
+      node_state_[static_cast<size_t>(faulter)][static_cast<size_t>(page)] = PageState::kRead;
+      kernel_->Wake(self, kernel_->Now());
+    });
+    ReleasePageAt(&meta, arrived);
+  };
+
+  if (manager == faulter) {
+    serve(kernel_->Now());
+  } else {
+    net_->Send(faulter, manager, kControlBytes, kernel_->Now(),
+               [this, serve] { serve(kernel_->Now()); });
+  }
+  kernel_->Block();
+}
+
+void Machine::WriteFault(int64_t page) {
+  const NodeId faulter = Here();
+  sim::Fiber* self = kernel_->current();
+  const NodeId manager = ManagerOf(page);
+  const auto& cost = kernel_->cost();
+
+  kernel_->Charge(cost.MarshalCost(kControlBytes) + cost.rpc_send_software);
+  kernel_->Sync();
+
+  PageMeta& meta = page_meta_[static_cast<size_t>(page)];
+  ClaimPage(&meta);
+  if (node_state_[static_cast<size_t>(faulter)][static_cast<size_t>(page)] == PageState::kWrite) {
+    ReleasePageAt(&meta, kernel_->Now());
+    return;
+  }
+  write_faults_.Add();
+  auto serve = [this, page, faulter, self, &meta](Time at_manager) {
+    const NodeId manager_node = ManagerOf(page);
+    const NodeId old_owner = meta.owner;
+    // Invalidate every copy except the faulter's own; each invalidation is
+    // acknowledged to the faulter (Ivy waits for all acks).
+    Time all_acked = at_manager;
+    for (NodeId r : meta.copyset) {
+      if (r == faulter) {
+        continue;
+      }
+      invalidations_.Add();
+      const Time at_r = r == manager_node
+                            ? at_manager
+                            : net_->Send(manager_node, r, kControlBytes, at_manager);
+      kernel_->Post(at_r, [this, r, page] {
+        node_state_[static_cast<size_t>(r)][static_cast<size_t>(page)] = PageState::kInvalid;
+      });
+      const Time ack = r == faulter ? at_r : net_->Send(r, faulter, kControlBytes, at_r);
+      all_acked = std::max(all_acked, ack);
+    }
+    if (old_owner != faulter &&
+        std::find(meta.copyset.begin(), meta.copyset.end(), old_owner) == meta.copyset.end()) {
+      // Owner wasn't in the copyset list but still holds the page.
+      invalidations_.Add();
+    }
+    // Page (with ownership) moves to the faulter unless it already holds a
+    // read copy — Ivy still transfers on ownership change; we grant an
+    // upgrade without a transfer when the faulter has a valid copy.
+    Time arrived = all_acked;
+    const bool has_copy =
+        node_state_[static_cast<size_t>(faulter)][static_cast<size_t>(page)] != PageState::kInvalid;
+    if (!has_copy && old_owner != faulter) {
+      const Time fwd = old_owner == manager_node
+                           ? at_manager
+                           : net_->Send(manager_node, old_owner, kControlBytes, at_manager);
+      arrived = std::max(arrived, net_->Send(old_owner, faulter, page_size_, fwd));
+      page_transfers_.Add();
+    }
+    if (old_owner != faulter) {
+      kernel_->Post(arrived, [this, old_owner, page] {
+        node_state_[static_cast<size_t>(old_owner)][static_cast<size_t>(page)] =
+            PageState::kInvalid;
+      });
+    }
+    meta.owner = faulter;
+    meta.copyset.assign(1, faulter);
+    kernel_->Post(arrived, [this, page, faulter, self] {
+      node_state_[static_cast<size_t>(faulter)][static_cast<size_t>(page)] = PageState::kWrite;
+      kernel_->Wake(self, kernel_->Now());
+    });
+    ReleasePageAt(&meta, arrived);
+  };
+
+  if (manager == faulter) {
+    serve(kernel_->Now());
+  } else {
+    net_->Send(faulter, manager, kControlBytes, kernel_->Now(),
+               [this, serve] { serve(kernel_->Now()); });
+  }
+  kernel_->Block();
+}
+
+// --- Synchronization ------------------------------------------------------------
+
+void Machine::BarrierWait(int parties) {
+  sim::Fiber* self = kernel_->current();
+  const NodeId here = Here();
+  const auto& cost = kernel_->cost();
+  kernel_->Charge(cost.MarshalCost(kControlBytes) + cost.rpc_send_software);
+  kernel_->Sync();
+
+  auto arrive = [this, parties, self](Time now) {
+    barrier_.waiters.push_back(self);
+    if (++barrier_.arrived < parties) {
+      return;
+    }
+    barrier_.arrived = 0;
+    for (sim::Fiber* w : barrier_.waiters) {
+      const Time release =
+          w->node == 0 ? now : net_->Send(0, w->node, kControlBytes, now);
+      kernel_->Wake(w, release);
+    }
+    barrier_.waiters.clear();
+  };
+  if (here == 0) {
+    arrive(kernel_->Now());
+  } else {
+    net_->Send(here, 0, kControlBytes, kernel_->Now(),
+               [this, arrive] { arrive(kernel_->Now()); });
+  }
+  kernel_->Block();
+}
+
+void Machine::RpcLockAcquire(int lock_id) {
+  AMBER_CHECK(lock_id >= 0 && lock_id < static_cast<int>(rpc_locks_.size()));
+  sim::Fiber* self = kernel_->current();
+  const NodeId here = Here();
+  const NodeId manager = static_cast<NodeId>(lock_id % kernel_->nodes());
+  const auto& cost = kernel_->cost();
+  kernel_->Charge(cost.MarshalCost(kControlBytes) + cost.rpc_send_software);
+  kernel_->Sync();
+
+  RpcLock& lock = rpc_locks_[static_cast<size_t>(lock_id)];
+  auto serve = [this, &lock, self, manager](Time now) {
+    if (!lock.held) {
+      lock.held = true;
+      // Grant: reply to the requester.
+      const Time granted =
+          self->node == manager ? now : net_->Send(manager, self->node, kControlBytes, now);
+      kernel_->Wake(self, granted);
+    } else {
+      lock.waiters.push_back(self);
+    }
+  };
+  if (here == manager) {
+    serve(kernel_->Now());
+  } else {
+    net_->Send(here, manager, kControlBytes, kernel_->Now(),
+               [this, serve] { serve(kernel_->Now()); });
+  }
+  kernel_->Block();
+}
+
+void Machine::RpcLockRelease(int lock_id) {
+  AMBER_CHECK(lock_id >= 0 && lock_id < static_cast<int>(rpc_locks_.size()));
+  const NodeId here = Here();
+  const NodeId manager = static_cast<NodeId>(lock_id % kernel_->nodes());
+  const auto& cost = kernel_->cost();
+  kernel_->Charge(cost.MarshalCost(kControlBytes) + cost.rpc_send_software);
+  kernel_->Sync();
+
+  RpcLock& lock = rpc_locks_[static_cast<size_t>(lock_id)];
+  auto serve = [this, &lock, manager](Time now) {
+    AMBER_CHECK(lock.held);
+    if (lock.waiters.empty()) {
+      lock.held = false;
+      return;
+    }
+    sim::Fiber* next = lock.waiters.front();
+    lock.waiters.erase(lock.waiters.begin());
+    const Time granted =
+        next->node == manager ? now : net_->Send(manager, next->node, kControlBytes, now);
+    kernel_->Wake(next, granted);
+  };
+  if (here == manager) {
+    serve(kernel_->Now());
+  } else {
+    net_->Send(here, manager, kControlBytes, kernel_->Now(),
+               [this, serve] { serve(kernel_->Now()); });
+    // Release is asynchronous: the releaser does not wait.
+  }
+}
+
+void Machine::PageLockAcquire(uint64_t* addr) {
+  // Test-and-set on a shared word: every attempt needs exclusive (write)
+  // access to the containing page — contention ping-pongs the page.
+  const auto& cost = kernel_->cost();
+  for (;;) {
+    Write(addr, sizeof(*addr));
+    kernel_->Charge(cost.spin_op);
+    kernel_->Sync();
+    if (*addr == 0) {
+      *addr = 1;
+      return;
+    }
+    // Backoff before retrying so the holder can make progress.
+    sim::Fiber* self = kernel_->current();
+    kernel_->Wake(self, kernel_->Now() + cost.lock_op * 8);
+    kernel_->Block();
+  }
+}
+
+void Machine::PageLockRelease(uint64_t* addr) {
+  Write(addr, sizeof(*addr));
+  kernel_->Charge(kernel_->cost().spin_op);
+  kernel_->Sync();
+  AMBER_CHECK(*addr == 1) << "releasing a free page lock";
+  *addr = 0;
+}
+
+void Machine::CheckCoherence() const {
+  const int64_t n_pages = pages();
+  for (int64_t p = 0; p < n_pages; ++p) {
+    int writers = 0;
+    int readers = 0;
+    for (NodeId n = 0; n < kernel_->nodes(); ++n) {
+      const PageState s = node_state_[static_cast<size_t>(n)][static_cast<size_t>(p)];
+      if (s == PageState::kWrite) {
+        ++writers;
+        AMBER_CHECK(page_meta_[static_cast<size_t>(p)].owner == n)
+            << "writable copy on non-owner node " << n << " page " << p;
+      } else if (s == PageState::kRead) {
+        ++readers;
+      }
+    }
+    AMBER_CHECK(writers <= 1) << "page " << p << " has " << writers << " writers";
+    AMBER_CHECK(writers == 0 || readers == 0)
+        << "page " << p << " readable while writable elsewhere";
+  }
+}
+
+}  // namespace dsm

@@ -1,0 +1,186 @@
+// An Ivy-style page-based distributed shared memory (Li & Hudak) — the
+// comparator system of the paper's §4.
+//
+// The paper argues object-grain, function-shipping coherence (Amber) against
+// page-grain, data-shipping coherence (Ivy). This module implements the
+// latter over the *same* simulated cluster and cost model so the argument
+// becomes a measured ablation:
+//
+//   * fixed-distributed managers: page p is managed by node p % nodes;
+//   * single-writer / multiple-reader invalidation: a write fault
+//     invalidates every cached copy (with acks) and transfers ownership;
+//     a read fault copies the page from its owner and joins the copyset;
+//   * processes are *pinned* to nodes (Ivy moves data, not computation);
+//   * synchronization is RPC-based — the paper notes "recent versions of
+//     Ivy have handled [lock thrashing] by ... accessing shared lock
+//     variables with remote procedure calls" — plus a lock-in-page variant
+//     that exhibits the thrashing (§4.1), for the comparison benchmark.
+//
+// Software fault detection: without MMU traps, application code brackets
+// shared accesses with Read()/Write() range calls. Valid-access checks are
+// free (hardware would do them); only faults cost anything.
+
+#ifndef AMBER_SRC_DSM_DSM_H_
+#define AMBER_SRC_DSM_DSM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/net/network.h"
+#include "src/rpc/transport.h"
+#include "src/sim/kernel.h"
+#include "src/sim/stack_pool.h"
+
+namespace dsm {
+
+using amber::Duration;
+using amber::Time;
+using sim::NodeId;
+
+enum class PageState : uint8_t { kInvalid, kRead, kWrite };
+
+// Coherence protocol (Li & Hudak describe both families):
+//   kInvalidate — single writer / multiple readers; a write fault
+//                 invalidates every copy (the protocol Ivy shipped);
+//   kUpdate     — copies stay valid; every write to a page with remote
+//                 copies multicasts the written bytes to the copyset.
+enum class Protocol : uint8_t { kInvalidate, kUpdate };
+
+class Machine {
+ public:
+  struct Config {
+    int nodes = 4;
+    int procs_per_node = 1;
+    sim::CostModel cost;
+    int64_t shared_bytes = 8 << 20;
+    int page_size = 1024;
+    Protocol protocol = Protocol::kInvalidate;
+  };
+
+  explicit Machine(const Config& config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- Processes -------------------------------------------------------------
+
+  // Spawns a process (pinned fiber) on `node`.
+  void Spawn(NodeId node, std::function<void()> fn, std::string name = "");
+
+  // Runs to completion; returns final virtual time.
+  Time Run();
+
+  // --- Shared memory (call from process context) -----------------------------
+
+  uint8_t* shared_base() { return shared_.data(); }
+  int64_t shared_size() const { return static_cast<int64_t>(shared_.size()); }
+  int page_size() const { return page_size_; }
+  int64_t pages() const { return static_cast<int64_t>(page_meta_.size()); }
+
+  // Ensures the calling process's node may read [addr, addr+len): takes a
+  // read fault on every page not held in kRead/kWrite state.
+  void Read(const void* addr, int64_t len);
+
+  // Ensures write (exclusive) access: write faults invalidate all copies.
+  void Write(void* addr, int64_t len);
+
+  // Consumes CPU on the calling process.
+  void Work(Duration d) { kernel_->Charge(d); }
+
+  // --- Synchronization --------------------------------------------------------
+
+  // Centralized barrier (manager on node 0), implemented with RPC.
+  void BarrierWait(int parties);
+
+  // RPC lock: acquire/release by request to the lock's manager node — the
+  // fix "recent versions of Ivy" adopted (§4.1).
+  void RpcLockAcquire(int lock_id);
+  void RpcLockRelease(int lock_id);
+
+  // Lock-in-page: a test-and-set word in shared memory; every contended
+  // attempt write-faults the containing page between nodes (the §4.1
+  // thrashing pathology). `addr` must point into shared memory.
+  void PageLockAcquire(uint64_t* addr);
+  void PageLockRelease(uint64_t* addr);
+
+  // --- Introspection -------------------------------------------------------------
+
+  sim::Kernel& kernel() { return *kernel_; }
+  net::Network& network() { return *net_; }
+
+  int64_t read_faults() const { return read_faults_.value(); }
+  int64_t write_faults() const { return write_faults_.value(); }
+  int64_t page_transfers() const { return page_transfers_.value(); }
+  int64_t invalidations() const { return invalidations_.value(); }
+  int64_t updates_sent() const { return updates_sent_.value(); }
+  Protocol protocol() const { return config_.protocol; }
+
+  PageState NodePageState(NodeId node, int64_t page) const {
+    return node_state_[static_cast<size_t>(node)][static_cast<size_t>(page)];
+  }
+  NodeId PageOwner(int64_t page) const { return page_meta_[static_cast<size_t>(page)].owner; }
+
+  // Protocol invariants: at most one writer per page; a page in kWrite
+  // state anywhere implies no other node holds it readable; the owner
+  // always holds a valid copy. Panics on violation.
+  void CheckCoherence() const;
+
+ private:
+  struct PageMeta {
+    NodeId owner = 0;                 // last writer (holds the master copy)
+    std::vector<NodeId> copyset;      // nodes holding read copies
+    bool busy = false;                // a protocol operation is in flight
+    std::vector<sim::Fiber*> waiters; // faulters queued behind it
+  };
+
+  // Serializes protocol operations per page (Ivy queues requests at the
+  // manager). Blocks until the page is idle; returns with `busy` claimed.
+  void ClaimPage(PageMeta* meta);
+  // Completion side: runs at `when`, releases the claim and wakes waiters.
+  void ReleasePageAt(PageMeta* meta, Time when);
+  struct RpcLock {
+    bool held = false;
+    std::vector<sim::Fiber*> waiters;
+  };
+
+  NodeId ManagerOf(int64_t page) const { return static_cast<NodeId>(page % kernel_->nodes()); }
+  int64_t PageOf(const void* addr) const;
+  NodeId Here() const;
+
+  // Fault handlers: block the calling process for the protocol latency.
+  void ReadFault(int64_t page);
+  void WriteFault(int64_t page);
+  // kUpdate: multicast `len` written bytes of `page` to the copyset.
+  void PropagateUpdate(int64_t page, int64_t len);
+
+  Config config_;
+  std::unique_ptr<sim::Kernel> kernel_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<rpc::Transport> rpc_;
+  sim::StackPool stacks_;
+  int page_size_;
+
+  std::vector<uint8_t> shared_;                     // the actual bytes (host-shared)
+  std::vector<PageMeta> page_meta_;                 // protocol state (manager's view)
+  std::vector<std::vector<PageState>> node_state_;  // [node][page]
+
+  std::vector<RpcLock> rpc_locks_;
+  struct BarrierState {
+    int arrived = 0;
+    std::vector<sim::Fiber*> waiters;
+  } barrier_;
+
+  amber::Counter read_faults_;
+  amber::Counter write_faults_;
+  amber::Counter page_transfers_;
+  amber::Counter invalidations_;
+  amber::Counter updates_sent_;
+};
+
+}  // namespace dsm
+
+#endif  // AMBER_SRC_DSM_DSM_H_

@@ -1,0 +1,142 @@
+#include "src/dsm/sor_dsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/base/panic.h"
+
+namespace dsm {
+namespace {
+
+uint64_t HashDoubles(const double* v, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t bits;
+    __builtin_memcpy(&bits, &v[i], sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h = (h ^ ((bits >> (8 * b)) & 0xff)) * 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+inline double Relax(double v, double up, double down, double left, double right, double omega) {
+  return (1.0 - omega) * v + omega * 0.25 * (up + down + left + right);
+}
+
+}  // namespace
+
+SorDsmResult RunSorDsm(int nodes, const SorDsmParams& p, const sim::CostModel& cost) {
+  AMBER_CHECK(nodes >= 1);
+  AMBER_CHECK(p.cols >= 2 * nodes);
+  Machine::Config mc;
+  mc.nodes = nodes;
+  mc.procs_per_node = 1;
+  mc.cost = cost;
+  mc.page_size = p.page_size;
+  mc.protocol = p.protocol;
+  const int64_t grid_bytes = int64_t{8} * p.rows * p.cols;
+  mc.shared_bytes = ((grid_bytes + p.page_size - 1) / p.page_size + 1) * p.page_size;
+  Machine m(mc);
+
+  auto* grid = reinterpret_cast<double*>(m.shared_base());
+  auto index = [&](int r, int c) -> int64_t {
+    return p.layout == GridLayout::kRowMajor ? int64_t{r} * p.cols + c : int64_t{c} * p.rows + r;
+  };
+  auto at = [&](int r, int c) -> double& { return grid[index(r, c)]; };
+  // Boundary conditions set up before timing starts (host-side init; each
+  // node's first faults pull what it needs).
+  for (int c = 0; c < p.cols; ++c) {
+    at(0, c) = p.boundary_top;
+  }
+
+  // Column strips.
+  std::vector<int> col0(static_cast<size_t>(nodes) + 1);
+  for (int n = 0; n <= nodes; ++n) {
+    col0[static_cast<size_t>(n)] = static_cast<int>(int64_t{n} * p.cols / nodes);
+  }
+
+  SorDsmResult result;
+  amber::Time start_time = 0;
+  for (int n = 0; n < nodes; ++n) {
+    m.Spawn(n, [&, n] {
+      const int lo = col0[static_cast<size_t>(n)];
+      const int hi = col0[static_cast<size_t>(n) + 1];  // exclusive
+      // Touch our strip once (initial ownership), then synchronize and time.
+      for (int c = lo; c < hi; ++c) {
+        if (p.layout == GridLayout::kColumnMajor) {
+          m.Write(&at(0, c), int64_t{8} * p.rows);
+        }
+      }
+      if (p.layout == GridLayout::kRowMajor) {
+        for (int r = 0; r < p.rows; ++r) {
+          m.Write(&at(r, lo), int64_t{8} * (hi - lo));
+        }
+      }
+      m.BarrierWait(nodes);
+      if (n == 0) {
+        start_time = m.kernel().Now();
+      }
+      for (int iter = 0; iter < p.iterations; ++iter) {
+        for (int color = 0; color < 2; ++color) {
+          // Pull the neighbours' edge columns through the DSM.
+          for (int side = 0; side < 2; ++side) {
+            const int gc = side == 0 ? lo - 1 : hi;
+            if (gc < 0 || gc >= p.cols) {
+              continue;
+            }
+            if (p.layout == GridLayout::kColumnMajor) {
+              m.Read(&at(0, gc), int64_t{8} * p.rows);
+            } else {
+              for (int r = 1; r < p.rows - 1; ++r) {
+                m.Read(&at(r, gc), 8);
+              }
+            }
+          }
+          // Update our strip's points of this color.
+          for (int r = 1; r < p.rows - 1; ++r) {
+            int updated = 0;
+            for (int c = std::max(lo, 1); c < std::min(hi, p.cols - 1); ++c) {
+              if ((r + c) % 2 != color) {
+                continue;
+              }
+              // Re-assert write access: a neighbour's read of our edge
+              // column downgraded those pages.
+              m.Write(&at(r, c), 8);
+              at(r, c) = Relax(at(r, c), at(r - 1, c), at(r + 1, c), at(r, c - 1), at(r, c + 1),
+                               p.omega);
+              ++updated;
+            }
+            if (updated > 0) {
+              m.Work(updated * p.point_cost);
+            }
+          }
+          m.BarrierWait(nodes);
+        }
+      }
+      if (n == 0) {
+        result.solve_time = m.kernel().Now() - start_time;
+      }
+    }, "dsm-sor-" + std::to_string(n));
+  }
+  m.Run();
+  m.CheckCoherence();
+  // Hash in logical row-major order so layouts are comparable.
+  std::vector<double> logical(static_cast<size_t>(p.rows) * p.cols);
+  for (int r = 0; r < p.rows; ++r) {
+    for (int c = 0; c < p.cols; ++c) {
+      logical[static_cast<size_t>(r) * p.cols + c] = at(r, c);
+    }
+  }
+  result.grid_hash = HashDoubles(logical.data(), logical.size());
+  result.read_faults = m.read_faults();
+  result.write_faults = m.write_faults();
+  result.page_transfers = m.page_transfers();
+  result.updates_sent = m.updates_sent();
+  result.net_messages = m.network().messages();
+  result.net_bytes = m.network().bytes_sent();
+  return result;
+}
+
+}  // namespace dsm

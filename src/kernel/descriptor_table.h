@@ -1,0 +1,93 @@
+// Per-node object descriptor tables (§3.2, §3.3).
+//
+// Each node holds, for every object it has ever dealt with, a descriptor
+// saying whether the object is locally resident, a locally cached replica of
+// an immutable object, or remote — in which case the descriptor carries a
+// *forwarding address* (the last known location, possibly stale). An object
+// the node has never dealt with has an *uninitialized* descriptor — in the
+// paper this is detected through zero-filled pages; here, through absence
+// from the table — and is resolved via the object's home node, computed from
+// its address (§3.3).
+//
+// Invariant (checked by tests): at any ordered point, exactly one node's
+// table marks a mutable object kResident, and every forwarding chain
+// terminates at that node.
+
+#ifndef AMBER_SRC_KERNEL_DESCRIPTOR_TABLE_H_
+#define AMBER_SRC_KERNEL_DESCRIPTOR_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/base/panic.h"
+#include "src/base/stats.h"
+#include "src/sim/fiber.h"
+
+namespace amber {
+
+using sim::NodeId;
+using sim::kNoNode;
+
+enum class Residency : uint8_t {
+  kUninitialized,  // never seen here: consult the home node
+  kResident,       // object lives on this node
+  kRemoteHint,     // forwarding address in Descriptor::forward (may be stale)
+  kReplica,        // local copy of an immutable object
+};
+
+struct Descriptor {
+  Residency state = Residency::kUninitialized;
+  NodeId forward = kNoNode;
+};
+
+class DescriptorTable {
+ public:
+  explicit DescriptorTable(NodeId node) : node_(node) {}
+
+  // The invocation-time check. Absent entries read as uninitialized.
+  Descriptor Lookup(const void* obj) const {
+    lookups_.Add();
+    auto it = map_.find(obj);
+    return it == map_.end() ? Descriptor{} : it->second;
+  }
+
+  bool IsResident(const void* obj) const {
+    auto it = map_.find(obj);
+    return it != map_.end() && it->second.state == Residency::kResident;
+  }
+
+  void SetResident(const void* obj) { map_[obj] = {Residency::kResident, kNoNode}; }
+
+  // Leaves a forwarding address behind when the object departs (§3.3), or
+  // refreshes a stale hint after a chain walk (path compaction).
+  void SetForward(const void* obj, NodeId to) {
+    AMBER_DCHECK(to != node_) << "forwarding to self";
+    map_[obj] = {Residency::kRemoteHint, to};
+  }
+
+  void SetReplica(const void* obj) { map_[obj] = {Residency::kReplica, kNoNode}; }
+
+  // Object deleted on this node: drop local knowledge. Stale entries on
+  // other nodes are tolerated by the heap's no-split rule (§3.2).
+  void Erase(const void* obj) { map_.erase(obj); }
+
+  NodeId node() const { return node_; }
+  size_t entries() const { return map_.size(); }
+  int64_t lookups() const { return lookups_.value(); }
+
+  void ForEach(const std::function<void(const void*, const Descriptor&)>& fn) const {
+    for (const auto& [obj, d] : map_) {
+      fn(obj, d);
+    }
+  }
+
+ private:
+  NodeId node_;
+  std::unordered_map<const void*, Descriptor> map_;
+  mutable ::amber::Counter lookups_;
+};
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_KERNEL_DESCRIPTOR_TABLE_H_

@@ -1,0 +1,56 @@
+#include "src/mem/address_space.h"
+
+#include <sys/mman.h>
+
+#include "src/base/panic.h"
+
+namespace mem {
+
+GlobalAddressSpace::GlobalAddressSpace(size_t reserve_bytes) {
+  const size_t regions = reserve_bytes / kRegionSize;
+  AMBER_CHECK(regions >= 1) << "arena smaller than one region";
+  reserved_ = regions * kRegionSize;
+  void* raw = mmap(nullptr, reserved_, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                   -1, 0);
+  AMBER_CHECK(raw != MAP_FAILED) << "arena reservation failed (" << reserved_ << " bytes)";
+  base_ = static_cast<uint8_t*>(raw);
+  owners_.assign(regions, kNoNode);
+}
+
+GlobalAddressSpace::~GlobalAddressSpace() {
+  if (base_ != nullptr) {
+    munmap(base_, reserved_);
+  }
+}
+
+bool GlobalAddressSpace::Contains(const void* p) const {
+  const auto* b = static_cast<const uint8_t*>(p);
+  return b >= base_ && b < base_ + reserved_;
+}
+
+int64_t GlobalAddressSpace::RegionIndexOf(const void* p) const {
+  AMBER_DCHECK(Contains(p));
+  return static_cast<int64_t>((static_cast<const uint8_t*>(p) - base_) / kRegionSize);
+}
+
+void* GlobalAddressSpace::RegionBase(int64_t index) const {
+  AMBER_DCHECK(index >= 0 && static_cast<size_t>(index) < owners_.size());
+  return base_ + static_cast<size_t>(index) * kRegionSize;
+}
+
+NodeId GlobalAddressSpace::HomeOf(const void* p) const {
+  if (!Contains(p)) {
+    return kNoNode;
+  }
+  return owners_[static_cast<size_t>(RegionIndexOf(p))];
+}
+
+void GlobalAddressSpace::CommitRegion(int64_t index, NodeId owner) {
+  AMBER_CHECK(index >= 0 && static_cast<size_t>(index) < owners_.size());
+  AMBER_CHECK(owners_[static_cast<size_t>(index)] == kNoNode) << "region already assigned";
+  AMBER_CHECK(mprotect(RegionBase(index), kRegionSize, PROT_READ | PROT_WRITE) == 0);
+  owners_[static_cast<size_t>(index)] = owner;
+  ++committed_;
+}
+
+}  // namespace mem

@@ -1,0 +1,50 @@
+// The address-space server (§3.1).
+//
+// "Each node is assigned a private region of the virtual address space at
+// startup time for its local heap allocations. ... a large part of the
+// address space is left unallocated at startup and is handed out later by an
+// address space server as nodes exhaust their initial pool."
+//
+// The server's state lives on one node; acquiring a region from another node
+// costs a control RPC, which the Amber kernel charges when it calls
+// AcquireRegion on a non-server node. The region→owner map becomes globally
+// visible at grant time (in the paper, each task learns a region's owner
+// when it first maps the region — we fold that into the grant; the lookup
+// itself is free thereafter on every node, as in the paper).
+
+#ifndef AMBER_SRC_MEM_REGION_SERVER_H_
+#define AMBER_SRC_MEM_REGION_SERVER_H_
+
+#include <cstdint>
+
+#include "src/mem/address_space.h"
+
+namespace mem {
+
+class RegionServer {
+ public:
+  // Grants `initial_regions_per_node` regions to each of `nodes` nodes up
+  // front (program startup, no RPC cost — the tasks are created with them).
+  RegionServer(GlobalAddressSpace* space, int nodes, int initial_regions_per_node,
+               NodeId server_node = 0);
+
+  RegionServer(const RegionServer&) = delete;
+  RegionServer& operator=(const RegionServer&) = delete;
+
+  // Grants the next unassigned region to `node` and commits it. The caller
+  // is responsible for charging the RPC when node != server_node().
+  // Returns the region index.
+  int64_t AcquireRegion(NodeId node);
+
+  NodeId server_node() const { return server_node_; }
+  int64_t regions_granted() const { return next_region_; }
+
+ private:
+  GlobalAddressSpace* space_;
+  NodeId server_node_;
+  int64_t next_region_ = 0;
+};
+
+}  // namespace mem
+
+#endif  // AMBER_SRC_MEM_REGION_SERVER_H_

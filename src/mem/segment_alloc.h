@@ -1,0 +1,112 @@
+// Per-node segment (heap-block) allocator (§3.2).
+//
+// Objects are allocated as segments from the regions a node owns. Two rules
+// from the paper shape this allocator:
+//
+//  1. "Heap blocks are never divided once they have been returned to the
+//     free pool" — so a dangling reference into a freed-and-reused block
+//     still lands on a well-formed block boundary and the descriptor scheme
+//     stays sound. Freed blocks are reused whole, exact-size match only;
+//     they are never split or coalesced.
+//
+//  2. Fresh blocks are carved bump-style from the node's regions; when all
+//     owned regions are exhausted Allocate returns nullptr and the caller
+//     (the Amber kernel) acquires a new region from the RegionServer —
+//     paying a control RPC when the server is remote — and retries.
+//
+// Every block carries a 16-byte header (size + magic + liveness) directly
+// below the address handed out, so blocks can be walked, validated, and
+// sized for migration byte-accounting.
+
+#ifndef AMBER_SRC_MEM_SEGMENT_ALLOC_H_
+#define AMBER_SRC_MEM_SEGMENT_ALLOC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/mem/address_space.h"
+
+namespace mem {
+
+class SegmentAllocator {
+ public:
+  SegmentAllocator(GlobalAddressSpace* space, NodeId node) : space_(space), node_(node) {}
+
+  SegmentAllocator(const SegmentAllocator&) = delete;
+  SegmentAllocator& operator=(const SegmentAllocator&) = delete;
+
+  // Adds a region (granted to this node by the RegionServer) to the pool.
+  void AddRegion(int64_t region_index);
+
+  // Allocates a segment of at least `size` usable bytes (16-byte aligned).
+  // Returns nullptr if no owned region can satisfy it — acquire a region and
+  // retry. size must fit in a region.
+  void* Allocate(size_t size);
+
+  void Free(void* p);
+
+  // Usable size of a live segment.
+  size_t SizeOf(const void* p) const;
+
+  // True if p is the base of a live segment of this allocator.
+  bool IsLiveSegment(const void* p) const;
+
+  // Maximum usable allocation size.
+  static size_t MaxAllocation() { return kRegionSize - 2 * kHeaderSize; }
+
+  // --- Introspection / integrity ---------------------------------------------
+
+  struct BlockInfo {
+    void* base;       // usable base
+    size_t size;      // usable size
+    bool live;
+  };
+
+  // Walks every block ever carved in this node's regions, in address order.
+  void WalkBlocks(const std::function<void(const BlockInfo&)>& fn) const;
+
+  // Validates headers and non-overlap of all blocks; panics on corruption.
+  void CheckIntegrity() const;
+
+  int64_t live_segments() const { return live_segments_; }
+  int64_t live_bytes() const { return live_bytes_; }
+  int64_t total_allocations() const { return total_allocations_; }
+  size_t regions_owned() const { return regions_.size(); }
+
+ private:
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr uint32_t kMagic = 0xa3b37a1eu;
+
+  struct Header {
+    uint64_t size;  // usable bytes
+    uint32_t magic;
+    uint32_t live;
+  };
+  static_assert(sizeof(Header) == kHeaderSize);
+
+  struct Region {
+    int64_t index;
+    uint8_t* base;
+    size_t bump;  // next free offset
+  };
+
+  static Header* HeaderOf(void* p) { return reinterpret_cast<Header*>(static_cast<uint8_t*>(p)) - 1; }
+  static const Header* HeaderOf(const void* p) {
+    return reinterpret_cast<const Header*>(static_cast<const uint8_t*>(p)) - 1;
+  }
+
+  GlobalAddressSpace* space_;
+  NodeId node_;
+  std::vector<Region> regions_;
+  // Exact-size free lists; blocks are reused whole (rule 1).
+  std::map<size_t, std::vector<void*>> free_lists_;
+  int64_t live_segments_ = 0;
+  int64_t live_bytes_ = 0;
+  int64_t total_allocations_ = 0;
+};
+
+}  // namespace mem
+
+#endif  // AMBER_SRC_MEM_SEGMENT_ALLOC_H_

@@ -1,0 +1,72 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+
+namespace net {
+
+Time Network::AcquireChannel(NodeId src, NodeId dst, Time ready, Duration wire) {
+  Time* free_at = &bus_free_at_;
+  if (topology_ == Topology::kSwitched) {
+    free_at = &link_free_at_[{src, dst}];  // full duplex: per direction
+  }
+  const Time start = std::max(ready, *free_at);
+  *free_at = start + wire;
+  busy_ns_ += wire;
+  return start;
+}
+
+Time Network::Send(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                   std::function<void()> deliver) {
+  AMBER_DCHECK(bytes >= 0);
+  AMBER_DCHECK(src != dst) << "network send to self";
+  const sim::CostModel& cost = kernel_->cost();
+  const Duration wire = cost.WireTime(bytes);
+  const Time start = AcquireChannel(src, dst, depart, wire);
+  const Time arrival = start + wire + cost.propagation + cost.rpc_recv_software;
+  messages_.Add();
+  bytes_.Add(bytes);
+  fragments_.Add();
+  if (on_message_) {
+    on_message_(depart, arrival, src, dst, bytes);
+  }
+  if (deliver) {
+    kernel_->Post(arrival, std::move(deliver));
+  }
+  return arrival;
+}
+
+Time Network::SendBulk(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                       std::function<void()> deliver) {
+  AMBER_DCHECK(bytes >= 0);
+  AMBER_DCHECK(src != dst) << "network send to self";
+  const sim::CostModel& cost = kernel_->cost();
+  const int64_t frags = cost.Fragments(bytes);
+  Time ready = depart;
+  int64_t remaining = bytes;
+  Time last_delivery = depart;
+  for (int64_t i = 0; i < frags; ++i) {
+    const int64_t chunk = std::min<int64_t>(remaining, cost.mtu_bytes);
+    remaining -= chunk;
+    const Duration wire = cost.WireTime(chunk);
+    const Time start = AcquireChannel(src, dst, ready, wire);
+    // Back-to-back fragments: the next one is ready as soon as this one has
+    // left the adapter, plus the (cheap) per-fragment protocol cost.
+    ready = start + wire + cost.per_fragment_overhead;
+    last_delivery = start + wire + cost.propagation;
+  }
+  const Time arrival = last_delivery + cost.rpc_recv_software;
+  messages_.Add();
+  bytes_.Add(bytes);
+  fragments_.Add(frags);
+  if (on_message_) {
+    on_message_(depart, arrival, src, dst, bytes);
+  }
+  if (deliver) {
+    kernel_->Post(arrival, std::move(deliver));
+  }
+  return arrival;
+}
+
+}  // namespace net

@@ -1,0 +1,98 @@
+// Simulated interconnect: a 10 Mbit/s shared-medium Ethernet.
+//
+// The bus is modelled as a single FIFO channel: each frame occupies the
+// medium for media-access overhead plus size/bandwidth, so concurrent
+// senders queue behind one another — reproducing the saturation behaviour
+// that limits small-grid SOR speedup (paper Figure 3). Bulk transfers
+// (object moves, §4.2 "efficient bulk transfer protocol") fragment at the
+// MTU and pay a reduced per-fragment overhead.
+//
+// Division of labour: the *sender's CPU* costs (marshalling, RPC software
+// path) are charged by the RPC layer to the sending fiber so they occupy a
+// simulated processor; the Network accounts only for wire occupancy,
+// propagation, and the receive-side software path (modelled as latency).
+
+#ifndef AMBER_SRC_NET_NETWORK_H_
+#define AMBER_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "src/base/stats.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/kernel.h"
+
+namespace net {
+
+using amber::Counter;
+using amber::Duration;
+using amber::Time;
+using sim::NodeId;
+
+// Interconnect organization. The paper's testbed is a shared 10 Mbit/s
+// Ethernet (kSharedBus); kSwitched models the "new high-throughput
+// networks" its §5 anticipates — independent full-duplex links per node
+// pair, so there is no shared-medium queueing (only per-link serialization).
+enum class Topology { kSharedBus, kSwitched };
+
+class Network {
+ public:
+  explicit Network(sim::Kernel* kernel, Topology topology = Topology::kSharedBus)
+      : kernel_(kernel), topology_(topology) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Transmits one datagram of `bytes` payload leaving src no earlier than
+  // `depart`. Returns the time the message is available to software at dst
+  // (wire + propagation + receive software path). If `deliver` is non-null
+  // it runs, in event context, at that time.
+  Time Send(NodeId src, NodeId dst, int64_t bytes, Time depart,
+            std::function<void()> deliver = nullptr);
+
+  // Transmits a bulk payload as MTU-sized fragments back-to-back on the
+  // medium. Returns delivery-complete time at dst.
+  Time SendBulk(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                std::function<void()> deliver = nullptr);
+
+  // --- Traffic statistics ----------------------------------------------------
+  int64_t messages() const { return messages_.value(); }
+  int64_t bytes_sent() const { return bytes_.value(); }
+  int64_t fragments() const { return fragments_.value(); }
+  Duration busy_time() const { return busy_ns_; }
+  void ResetStats() {
+    messages_.Reset();
+    bytes_.Reset();
+    fragments_.Reset();
+    busy_ns_ = 0;
+  }
+
+  Topology topology() const { return topology_; }
+
+  // Observer of every transmission (tracing). Called with (depart, arrive,
+  // src, dst, bytes) at ordered points.
+  using MessageObserver = std::function<void(Time, Time, NodeId, NodeId, int64_t)>;
+  void SetMessageObserver(MessageObserver observer) { on_message_ = std::move(observer); }
+
+ private:
+  // Reserves the channel (the shared bus, or the src->dst link) for a
+  // transmission of `wire` duration starting no earlier than `ready`;
+  // returns the transmission start time.
+  Time AcquireChannel(NodeId src, NodeId dst, Time ready, Duration wire);
+
+  sim::Kernel* kernel_;
+  Topology topology_;
+  Time bus_free_at_ = 0;
+  std::map<std::pair<NodeId, NodeId>, Time> link_free_at_;  // kSwitched
+  Counter messages_;
+  Counter bytes_;
+  Counter fragments_;
+  Duration busy_ns_ = 0;
+  MessageObserver on_message_;
+};
+
+}  // namespace net
+
+#endif  // AMBER_SRC_NET_NETWORK_H_

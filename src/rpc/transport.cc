@@ -1,0 +1,59 @@
+#include "src/rpc/transport.h"
+
+#include "src/base/panic.h"
+
+namespace rpc {
+
+Time Transport::ChargeSendPath(int64_t payload_bytes) {
+  sim::Fiber* f = kernel_->current();
+  AMBER_CHECK(f != nullptr) << "RPC send outside fiber context";
+  const sim::CostModel& cost = kernel_->cost();
+  kernel_->Charge(cost.MarshalCost(payload_bytes) + cost.rpc_send_software);
+  // Sync so the bus reservation below happens at an ordered point: shared
+  // bus state must only be touched in virtual-time order.
+  kernel_->Sync();
+  return kernel_->Now();
+}
+
+Time Transport::Send(NodeId dst, int64_t payload_bytes, std::function<void()> deliver) {
+  const NodeId src = kernel_->current()->node;
+  const Time depart = ChargeSendPath(payload_bytes);
+  return net_->Send(src, dst, payload_bytes, depart, std::move(deliver));
+}
+
+Time Transport::Roundtrip(NodeId dst, int64_t request_bytes, std::function<int64_t()> service) {
+  sim::Fiber* f = kernel_->current();
+  const NodeId src = f->node;
+  AMBER_CHECK(dst != src) << "roundtrip to self";
+  const Time depart = ChargeSendPath(request_bytes);
+  ++roundtrips_;
+  Time reply_arrival = 0;
+  net_->Send(src, dst, request_bytes, depart, [this, f, src, dst, service, &reply_arrival] {
+    const int64_t reply_bytes = service();
+    // The service's unmarshal/marshal work is folded into the fixed
+    // rpc_recv_software/marshal_base terms below (latency model).
+    const Time reply_depart = kernel_->Now() + kernel_->cost().MarshalCost(reply_bytes);
+    reply_arrival = net_->Send(dst, src, reply_bytes, reply_depart, nullptr);
+    kernel_->Wake(f, reply_arrival);
+  });
+  kernel_->Block();
+  return kernel_->Now();
+}
+
+void Transport::Travel(NodeId dst, int64_t payload_bytes) {
+  sim::Fiber* f = kernel_->current();
+  const NodeId src = f->node;
+  AMBER_CHECK(dst != src) << "travel to self";
+  const Time depart = ChargeSendPath(payload_bytes);
+  ++travels_;
+  const Time arrival = net_->Send(src, dst, payload_bytes, depart, nullptr);
+  kernel_->TravelTo(dst, arrival);
+}
+
+Time Transport::SendBulk(NodeId dst, int64_t payload_bytes, std::function<void()> deliver) {
+  const NodeId src = kernel_->current()->node;
+  const Time depart = ChargeSendPath(payload_bytes);
+  return net_->SendBulk(src, dst, payload_bytes, depart, std::move(deliver));
+}
+
+}  // namespace rpc

@@ -1,0 +1,70 @@
+// RPC transport: composes fiber CPU charges with network transmission.
+//
+// Three communication shapes cover everything Amber does (§3):
+//   * Send      — one-way control datagram (forwarding updates, acks).
+//   * Roundtrip — request/reply with a service routine at the destination
+//                 (Locate queries, address-space-server region requests,
+//                 move-object control). The service runs in event context;
+//                 its CPU is modelled as receive-side latency.
+//   * Travel    — the signature Amber operation: the calling *thread* is the
+//                 message. The current fiber is charged for marshalling its
+//                 payload, then migrates to the destination node, arriving
+//                 after the wire + software path (§3.4 thread migration).
+
+#ifndef AMBER_SRC_RPC_TRANSPORT_H_
+#define AMBER_SRC_RPC_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/net/network.h"
+#include "src/sim/kernel.h"
+
+namespace rpc {
+
+using amber::Time;
+using sim::NodeId;
+
+class Transport {
+ public:
+  Transport(sim::Kernel* kernel, net::Network* network) : kernel_(kernel), net_(network) {}
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // One-way datagram from the current fiber's node. Charges the fiber for
+  // marshal + send software, then transmits. Returns delivery time at dst.
+  Time Send(NodeId dst, int64_t payload_bytes, std::function<void()> deliver = nullptr);
+
+  // Request/reply. Blocks the calling fiber until the reply (whose size the
+  // service returns) arrives back. Returns the reply arrival time.
+  Time Roundtrip(NodeId dst, int64_t request_bytes, std::function<int64_t()> service);
+
+  // Migrates the calling fiber to dst carrying `payload_bytes` (thread
+  // control state + stack + arguments). On return the fiber runs on dst.
+  void Travel(NodeId dst, int64_t payload_bytes);
+
+  // Bulk transfer (object move) from the current fiber's node; the fiber is
+  // charged for marshalling. Returns delivery-complete time at dst.
+  Time SendBulk(NodeId dst, int64_t payload_bytes, std::function<void()> deliver = nullptr);
+
+  net::Network& network() { return *net_; }
+
+  // --- Statistics --------------------------------------------------------------
+  int64_t roundtrips() const { return roundtrips_; }
+  int64_t travels() const { return travels_; }
+
+ private:
+  // Charges marshal + protocol-send CPU to the current fiber and returns its
+  // post-charge virtual time (the earliest wire departure).
+  Time ChargeSendPath(int64_t payload_bytes);
+
+  sim::Kernel* kernel_;
+  net::Network* net_;
+  int64_t roundtrips_ = 0;
+  int64_t travels_ = 0;
+};
+
+}  // namespace rpc
+
+#endif  // AMBER_SRC_RPC_TRANSPORT_H_

@@ -1,0 +1,155 @@
+// Wire-format serialization.
+//
+// Amber marshals data by hand (the original relied on identical layouts
+// across homogeneous VAXes; our single-process limit makes raw bytes valid
+// too, so marshalling is about *accounting and integrity*, not translation).
+// WireBuffer provides a typed little-endian pack/unpack stream used by
+// control messages and by the object-move path (which round-trips object
+// contents through a buffer and verifies a checksum, exercising the real
+// copy the paper's bulk transfer performs).
+//
+// WireSizeOf() computes the on-wire size of invocation arguments so thread
+// migration charges honest payload bytes — the "manual serialization" burden
+// the paper's model places on the runtime.
+
+#ifndef AMBER_SRC_RPC_WIRE_H_
+#define AMBER_SRC_RPC_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/base/panic.h"
+
+namespace rpc {
+
+class WireBuffer {
+ public:
+  WireBuffer() = default;
+  explicit WireBuffer(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  // --- Writing ---------------------------------------------------------------
+
+  void PutU8(uint8_t v) { PutRaw(&v, 1); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutPointer(const void* p) { PutU64(reinterpret_cast<uint64_t>(p)); }
+
+  void PutBytes(const void* data, size_t len) {
+    PutU64(len);
+    PutRaw(data, len);
+  }
+
+  void PutString(const std::string& s) { PutBytes(s.data(), s.size()); }
+
+  // --- Reading ---------------------------------------------------------------
+
+  uint8_t GetU8() { return GetRaw<uint8_t>(); }
+  uint32_t GetU32() { return GetRaw<uint32_t>(); }
+  uint64_t GetU64() { return GetRaw<uint64_t>(); }
+  int64_t GetI64() { return GetRaw<int64_t>(); }
+  double GetDouble() { return GetRaw<double>(); }
+  void* GetPointer() { return reinterpret_cast<void*>(GetU64()); }
+
+  std::vector<uint8_t> GetBytes() {
+    const uint64_t len = GetU64();
+    AMBER_CHECK(cursor_ + len <= bytes_.size()) << "wire underrun";
+    std::vector<uint8_t> out(bytes_.begin() + static_cast<long>(cursor_),
+                             bytes_.begin() + static_cast<long>(cursor_ + len));
+    cursor_ += len;
+    return out;
+  }
+
+  std::string GetString() {
+    auto b = GetBytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  // --- Introspection -----------------------------------------------------------
+
+  size_t size() const { return bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - cursor_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  void Rewind() { cursor_ = 0; }
+
+  // FNV-1a over the contents; the object-move path verifies this across the
+  // simulated wire.
+  uint64_t Checksum() const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint8_t b : bytes_) {
+      h = (h ^ b) * 1099511628211ULL;
+    }
+    return h;
+  }
+
+ private:
+  void PutRaw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+  }
+
+  template <typename T>
+  T GetRaw() {
+    AMBER_CHECK(cursor_ + sizeof(T) <= bytes_.size()) << "wire underrun";
+    T v;
+    std::memcpy(&v, bytes_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return v;
+  }
+
+  std::vector<uint8_t> bytes_;
+  size_t cursor_ = 0;
+};
+
+// --- Wire-size accounting for invocation arguments ---------------------------
+
+// Default: trivially-copyable types travel as their in-memory representation.
+template <typename T, typename Enable = void>
+struct WireSize {
+  static_assert(std::is_trivially_copyable_v<std::remove_cvref_t<T>>,
+                "non-trivially-copyable argument needs a WireSize specialization "
+                "(pass large data as std::vector/std::string or an object Ref)");
+  static int64_t Of(const T&) { return sizeof(std::remove_cvref_t<T>); }
+};
+
+template <typename T>
+int64_t WireSizeOf(const T& v);
+
+template <typename E>
+struct WireSize<std::vector<E>> {
+  static int64_t Of(const std::vector<E>& v) {
+    if constexpr (std::is_trivially_copyable_v<E>) {
+      return 8 + static_cast<int64_t>(v.size() * sizeof(E));
+    } else {
+      int64_t total = 8;
+      for (const E& e : v) {
+        total += WireSizeOf(e);
+      }
+      return total;
+    }
+  }
+};
+
+template <>
+struct WireSize<std::string> {
+  static int64_t Of(const std::string& s) { return 8 + static_cast<int64_t>(s.size()); }
+};
+
+template <typename T>
+int64_t WireSizeOf(const T& v) {
+  return WireSize<std::remove_cvref_t<T>>::Of(v);
+}
+
+// Total wire size of an argument pack (invocation payload accounting).
+template <typename... Args>
+int64_t WireSizeOfAll(const Args&... args) {
+  return (int64_t{0} + ... + WireSizeOf(args));
+}
+
+}  // namespace rpc
+
+#endif  // AMBER_SRC_RPC_WIRE_H_

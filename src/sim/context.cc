@@ -1,0 +1,105 @@
+#include "src/sim/context.h"
+
+#include "src/base/panic.h"
+
+#if defined(AMBER_CTX_UCONTEXT)
+
+#include <ucontext.h>
+
+namespace sim {
+
+// ucontext(3) portable fallback. Slower than the assembly path (swapcontext
+// performs a sigprocmask syscall per switch) but runs anywhere POSIX does.
+
+struct ContextImpl {
+  ucontext_t uctx;
+  void (*entry)(void*) = nullptr;
+  void* arg = nullptr;
+};
+
+namespace {
+
+// makecontext only passes ints, so smuggle the ContextImpl pointer as two
+// 32-bit halves (the classic portable idiom).
+void TrampolineSplit(unsigned hi, unsigned lo) {
+  auto* impl = reinterpret_cast<ContextImpl*>((static_cast<uintptr_t>(hi) << 32) |
+                                              static_cast<uintptr_t>(lo));
+  impl->entry(impl->arg);
+  AMBER_PANIC("fiber entry function returned");
+}
+
+}  // namespace
+
+Context::Context() : impl_(new ContextImpl) {}
+Context::~Context() { delete impl_; }
+
+void Context::Init(void* stack_base, size_t size, void (*entry)(void*), void* arg) {
+  AMBER_CHECK(getcontext(&impl_->uctx) == 0);
+  impl_->uctx.uc_stack.ss_sp = stack_base;
+  impl_->uctx.uc_stack.ss_size = size;
+  impl_->uctx.uc_link = nullptr;
+  impl_->entry = entry;
+  impl_->arg = arg;
+  const auto p = reinterpret_cast<uintptr_t>(impl_);
+  makecontext(&impl_->uctx, reinterpret_cast<void (*)()>(TrampolineSplit), 2,
+              static_cast<unsigned>(p >> 32), static_cast<unsigned>(p & 0xffffffffu));
+}
+
+void Context::Switch(Context* from, Context* to) {
+  AMBER_CHECK(swapcontext(&from->impl_->uctx, &to->impl_->uctx) == 0);
+}
+
+}  // namespace sim
+
+#else  // assembly implementation
+
+extern "C" {
+void amber_ctx_switch(void** save_sp, void* load_sp);
+void amber_ctx_trampoline();
+}
+
+namespace sim {
+
+Context::Context() = default;
+Context::~Context() = default;
+
+void Context::Init(void* stack_base, size_t size, void (*entry)(void*), void* arg) {
+  AMBER_CHECK(size >= 1024) << "stack too small: " << size;
+  // Place the trampoline return address so that rsp % 16 == 8 right after the
+  // final ret in amber_ctx_switch pops it — i.e. the trampoline starts with
+  // call-boundary alignment, and its own `call *%rbx` re-establishes the
+  // SysV requirement (rsp % 16 == 8 at function entry) for user code.
+  uintptr_t top = (reinterpret_cast<uintptr_t>(stack_base) + size) & ~uintptr_t{15};
+  auto* ret_slot = reinterpret_cast<uint64_t*>(top - 8);
+  *ret_slot = reinterpret_cast<uint64_t>(&amber_ctx_trampoline);
+
+  uint64_t* p = ret_slot;
+  *--p = 0;                                  // rbp
+  *--p = reinterpret_cast<uint64_t>(entry);  // rbx -> trampoline's call target
+  *--p = reinterpret_cast<uint64_t>(arg);    // r12 -> trampoline's argument
+  *--p = 0;                                  // r13
+  *--p = 0;                                  // r14
+  *--p = 0;                                  // r15
+
+  // Seed the new context's FP control slot with the current control words so
+  // fibers inherit the process rounding/precision configuration.
+  uint32_t mxcsr;
+  uint16_t fcw;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  --p;
+  auto* fp_slot = reinterpret_cast<uint8_t*>(p);
+  __builtin_memcpy(fp_slot, &mxcsr, sizeof(mxcsr));
+  __builtin_memcpy(fp_slot + 4, &fcw, sizeof(fcw));
+
+  sp_ = p;
+}
+
+void Context::Switch(Context* from, Context* to) {
+  AMBER_DCHECK(to->sp_ != nullptr) << "switching to an uninitialized context";
+  amber_ctx_switch(&from->sp_, to->sp_);
+}
+
+}  // namespace sim
+
+#endif

@@ -1,0 +1,58 @@
+// Machine-level execution contexts (fibers).
+//
+// Amber threads are user-level threads with their own stacks; the simulator
+// switches between them cooperatively. The default implementation is ~20
+// instructions of x86-64 assembly saving only the System V callee-saved state
+// (GPRs + x87/SSE control words) — a cooperative switch at a call boundary
+// needs nothing else. A portable ucontext(3) fallback is selected with
+// -DAMBER_USE_UCONTEXT=ON.
+//
+// Contexts do not own their stacks: the caller provides stack memory, which
+// lets the Amber runtime carve thread stacks out of the global object address
+// space exactly as the paper describes (§3.1: "all dynamic objects (including
+// thread objects and their stacks)").
+
+#ifndef AMBER_SRC_SIM_CONTEXT_H_
+#define AMBER_SRC_SIM_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sim {
+
+#if defined(AMBER_CTX_UCONTEXT)
+struct ContextImpl;  // wraps ucontext_t, defined in context_ucontext.cc
+#endif
+
+// A suspended machine context. Default-constructed contexts represent the
+// currently running control flow and may be switched *from* immediately;
+// Init() prepares a context to start executing `entry(arg)` on the given
+// stack when first switched *to*.
+class Context {
+ public:
+  Context();
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // Arms the context to run entry(arg) on [stack_base, stack_base + size).
+  // The entry function must never return; it must switch away instead
+  // (returning out of the root frame of a fiber is a fatal error and traps).
+  void Init(void* stack_base, size_t size, void (*entry)(void*), void* arg);
+
+  // Saves the current machine state into `from` and resumes `to`. Returns
+  // when something later switches back into `from`.
+  static void Switch(Context* from, Context* to);
+
+ private:
+#if defined(AMBER_CTX_UCONTEXT)
+  ContextImpl* impl_;
+#else
+  void* sp_ = nullptr;  // saved stack pointer; live only while suspended
+#endif
+};
+
+}  // namespace sim
+
+#endif  // AMBER_SRC_SIM_CONTEXT_H_

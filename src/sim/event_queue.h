@@ -1,0 +1,79 @@
+// Discrete-event queue with a virtual clock.
+//
+// Events are closures ordered by (time, sequence-number); the sequence number
+// makes ordering of simultaneous events deterministic (FIFO within a
+// timestamp), which in turn makes every simulation run bit-reproducible.
+
+#ifndef AMBER_SRC_SIM_EVENT_QUEUE_H_
+#define AMBER_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/base/panic.h"
+#include "src/base/time.h"
+
+namespace sim {
+
+using amber::Duration;
+using amber::Time;
+
+class EventQueue {
+ public:
+  // Schedules fn to run at virtual time t. t must not be in the past.
+  void Post(Time t, std::function<void()> fn) {
+    AMBER_DCHECK(t >= now_) << "posting event in the past: " << t << " < " << now_;
+    heap_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  // Runs the earliest pending event, advancing the clock to its timestamp.
+  // Returns false if no events remain.
+  bool RunOne() {
+    if (heap_.empty()) {
+      return false;
+    }
+    // Moving the closure out before popping keeps it alive while it runs and
+    // lets it post further events (which may mutate the heap).
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  // Current virtual time: the timestamp of the most recently started event.
+  Time now() const { return now_; }
+
+  // Timestamp of the earliest pending event (queue must be non-empty).
+  Time NextTime() const {
+    AMBER_DCHECK(!heap_.empty());
+    return heap_.top().when;
+  }
+
+  uint64_t events_run() const { return next_seq_ - heap_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // AMBER_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,342 @@
+#include "src/sim/kernel.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/panic.h"
+
+namespace sim {
+
+Kernel::Kernel(const Config& config) : cost_(config.cost), procs_per_node_(config.procs_per_node) {
+  AMBER_CHECK(config.nodes >= 1);
+  AMBER_CHECK(config.procs_per_node >= 1);
+  nodes_.resize(config.nodes);
+  for (auto& node : nodes_) {
+    node.procs.resize(config.procs_per_node);
+    for (int p = config.procs_per_node - 1; p >= 0; --p) {
+      node.free_procs.push_back(p);
+    }
+    node.queue = std::make_unique<FifoRunQueue>();
+  }
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::FiberEntry(void* arg) {
+  auto* f = static_cast<Fiber*>(arg);
+  f->entry();
+  f->kernel->Exit();
+}
+
+Fiber* Kernel::Spawn(NodeId node, void* stack_base, size_t stack_size, std::function<void()> fn,
+                     std::string name) {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  auto owned = std::make_unique<Fiber>();
+  Fiber* f = owned.get();
+  f->id = next_fiber_id_++;
+  f->name = name.empty() ? "fiber-" + std::to_string(f->id) : std::move(name);
+  f->node = node;
+  f->kernel = this;
+  f->entry = std::move(fn);
+  f->stack_base = stack_base;
+  f->stack_size = stack_size;
+  f->vtime = Now();
+  f->ctx.Init(stack_base, stack_size, &FiberEntry, f);
+  fibers_.push_back(std::move(owned));
+  ++live_fibers_;
+  Post(Now(), [this, f] {
+    EnqueueReady(f, queue_.now());
+    TryDispatch(f->node);
+  });
+  return f;
+}
+
+void Kernel::DestroyFiber(Fiber* f) {
+  AMBER_CHECK(f->state == FiberState::kFinished) << "destroying live fiber " << f->name;
+  auto it = std::find_if(fibers_.begin(), fibers_.end(),
+                         [f](const std::unique_ptr<Fiber>& p) { return p.get() == f; });
+  AMBER_CHECK(it != fibers_.end());
+  fibers_.erase(it);
+}
+
+void Kernel::SetRunQueue(NodeId node, std::unique_ptr<RunQueue> queue) {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  RunQueue& old = *nodes_[node].queue;
+  while (Fiber* f = old.Dequeue()) {
+    queue->Enqueue(f);
+  }
+  nodes_[node].queue = std::move(queue);
+}
+
+RunQueue& Kernel::run_queue(NodeId node) {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  return *nodes_[node].queue;
+}
+
+Time Kernel::Now() const { return current_ != nullptr ? current_->vtime : queue_.now(); }
+
+// --- Dispatch machinery -----------------------------------------------------
+
+void Kernel::EnqueueReady(Fiber* f, Time t) {
+  AMBER_DCHECK(f->state != FiberState::kRunning && f->state != FiberState::kFinished);
+  f->state = FiberState::kReady;
+  f->vtime = std::max(f->vtime, t);
+  // Every pass through the run queue implies a context switch in, which in
+  // Amber performs the §3.5 residency re-check via the resume hook.
+  f->involuntary_resume = true;
+  nodes_[f->node].queue->Enqueue(f);
+}
+
+void Kernel::TryDispatch(NodeId node) {
+  AMBER_DCHECK(current_ == nullptr) << "TryDispatch from fiber context";
+  NodeState& ns = nodes_[node];
+  while (!ns.free_procs.empty() && !ns.queue->Empty()) {
+    Fiber* f = ns.queue->Dequeue();
+    AMBER_DCHECK(f->state == FiberState::kReady);
+    const int proc = ns.free_procs.back();
+    ns.free_procs.pop_back();
+    f->processor = proc;
+    f->state = FiberState::kRunning;
+    f->vtime = std::max(f->vtime, queue_.now()) + cost_.context_switch;
+    f->quantum_end = f->vtime + cost_.quantum;
+    ns.procs[proc].running = f;
+    ns.procs[proc].busy_since = f->vtime - cost_.context_switch;
+    ++dispatches_;
+    current_ = f;
+    Context::Switch(&kernel_ctx_, &f->ctx);
+    current_ = nullptr;
+  }
+}
+
+void Kernel::SwitchToKernel(Fiber* f) { Context::Switch(&f->ctx, &kernel_ctx_); }
+
+void Kernel::AfterResume(Fiber* f) {
+  if (f->involuntary_resume) {
+    f->involuntary_resume = false;
+    if (resume_hook_) {
+      resume_hook_(f);
+    }
+  }
+}
+
+void Kernel::ReleaseProcessorAndMaybeRequeue(Fiber* f, bool requeue) {
+  const NodeId node = f->node;
+  const int proc = f->processor;
+  const Time t = f->vtime;
+  AMBER_DCHECK(proc >= 0);
+  f->state = requeue ? FiberState::kReady : FiberState::kBlocked;
+  f->processor = -1;
+  Post(t, [this, node, proc, f, requeue, t] {
+    NodeState& ns = nodes_[node];
+    ns.busy_ns += t - ns.procs[proc].busy_since;
+    ns.procs[proc].running = nullptr;
+    ns.free_procs.push_back(proc);
+    if (requeue) {
+      EnqueueReady(f, queue_.now());
+    }
+    TryDispatch(node);
+  });
+  SwitchToKernel(f);
+  AfterResume(f);
+}
+
+// --- Fiber-facing primitives --------------------------------------------------
+
+void Kernel::Charge(Duration d) {
+  AMBER_DCHECK(current_ != nullptr) << "Charge outside fiber context";
+  AMBER_DCHECK(d >= 0);
+  Fiber* f = current_;
+  while (d > 0) {
+    if (f->preempt_requested) {
+      // An object move is preempting this node (§3.5): reschedule now so the
+      // residency re-check runs on the next switch-in.
+      f->preempt_requested = false;
+      f->vtime += cost_.preempt_ipi;
+      ++preemptions_;
+      ReleaseProcessorAndMaybeRequeue(f, /*requeue=*/true);
+      continue;
+    }
+    const Duration slice = f->quantum_end - f->vtime;
+    if (d < slice) {
+      f->vtime += d;
+      return;
+    }
+    f->vtime += slice;
+    d -= slice;
+    // Quantum expired. Re-enter the event queue so the clock catches up —
+    // this bounds how far a computing fiber can run ahead of virtual time
+    // (and therefore the latency of §3.5 move-time preemption) to one
+    // quantum. Sync() also honours any preemption request that arrived.
+    Sync();
+    if (nodes_[f->node].queue->Empty()) {
+      f->quantum_end = f->vtime + cost_.quantum;
+      continue;
+    }
+    ++preemptions_;
+    f->vtime += cost_.context_switch;
+    ReleaseProcessorAndMaybeRequeue(f, /*requeue=*/true);
+  }
+  if (f->preempt_requested) {
+    f->preempt_requested = false;
+    f->vtime += cost_.preempt_ipi;
+    ++preemptions_;
+    ReleaseProcessorAndMaybeRequeue(f, /*requeue=*/true);
+  }
+}
+
+void Kernel::Sync() {
+  AMBER_DCHECK(current_ != nullptr) << "Sync outside fiber context";
+  Fiber* f = current_;
+  queue_.Post(f->vtime, [this, f] {
+    AMBER_DCHECK(f->state == FiberState::kRunning);
+    current_ = f;
+    Context::Switch(&kernel_ctx_, &f->ctx);
+    current_ = nullptr;
+  });
+  SwitchToKernel(f);
+  if (f->preempt_requested) {
+    f->preempt_requested = false;
+    f->vtime += cost_.preempt_ipi;
+    ++preemptions_;
+    ReleaseProcessorAndMaybeRequeue(f, /*requeue=*/true);
+  }
+}
+
+void Kernel::Yield() {
+  AMBER_DCHECK(current_ != nullptr);
+  ReleaseProcessorAndMaybeRequeue(current_, /*requeue=*/true);
+}
+
+void Kernel::Block() {
+  AMBER_DCHECK(current_ != nullptr);
+  ReleaseProcessorAndMaybeRequeue(current_, /*requeue=*/false);
+}
+
+void Kernel::TravelTo(NodeId node, Time arrive) {
+  AMBER_DCHECK(current_ != nullptr);
+  AMBER_CHECK(node >= 0 && node < nodes());
+  Fiber* f = current_;
+  AMBER_DCHECK(arrive >= f->vtime);
+  const NodeId src = f->node;
+  const int proc = f->processor;
+  const Time t = f->vtime;
+  f->state = FiberState::kBlocked;
+  f->processor = -1;
+  Post(t, [this, src, proc, t] {
+    NodeState& ns = nodes_[src];
+    ns.busy_ns += t - ns.procs[proc].busy_since;
+    ns.procs[proc].running = nullptr;
+    ns.free_procs.push_back(proc);
+    TryDispatch(src);
+  });
+  Post(arrive, [this, f, node] {
+    f->node = node;
+    EnqueueReady(f, queue_.now());
+    TryDispatch(node);
+  });
+  SwitchToKernel(f);
+  AfterResume(f);
+}
+
+void Kernel::SpinWait() {
+  AMBER_DCHECK(current_ != nullptr);
+  Fiber* f = current_;
+  // State stays kRunning and the processor stays assigned: the CPU is
+  // burning cycles on the lock word. Only SpinResume may switch back in.
+  SwitchToKernel(f);
+}
+
+void Kernel::SpinResume(Fiber* f, Time t) {
+  AMBER_DCHECK(t >= Now());
+  AMBER_DCHECK(f->state == FiberState::kRunning && f->processor >= 0)
+      << "SpinResume target is not spinning";
+  Post(t, [this, f] {
+    f->vtime = std::max(f->vtime, queue_.now());
+    current_ = f;
+    Context::Switch(&kernel_ctx_, &f->ctx);
+    current_ = nullptr;
+  });
+}
+
+void Kernel::Exit() {
+  AMBER_DCHECK(current_ != nullptr);
+  Fiber* f = current_;
+  if (f->on_exit) {
+    f->on_exit();
+  }
+  f->state = FiberState::kFinished;
+  --live_fibers_;
+  const NodeId node = f->node;
+  const int proc = f->processor;
+  const Time t = f->vtime;
+  f->processor = -1;
+  Post(t, [this, node, proc, t] {
+    NodeState& ns = nodes_[node];
+    ns.busy_ns += t - ns.procs[proc].busy_since;
+    ns.procs[proc].running = nullptr;
+    ns.free_procs.push_back(proc);
+    TryDispatch(node);
+  });
+  SwitchToKernel(f);
+  AMBER_PANIC("finished fiber resumed");
+}
+
+// --- Kernel-facing primitives --------------------------------------------------
+
+void Kernel::Wake(Fiber* f, Time t) {
+  AMBER_DCHECK(t >= Now()) << "waking in the past";
+  Post(t, [this, f] {
+    AMBER_DCHECK(f->state == FiberState::kBlocked)
+        << "waking fiber " << f->name << " in state " << static_cast<int>(f->state);
+    EnqueueReady(f, queue_.now());
+    TryDispatch(f->node);
+  });
+}
+
+int Kernel::RequestPreempt(NodeId node) {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  int flagged = 0;
+  for (auto& proc : nodes_[node].procs) {
+    if (proc.running != nullptr && proc.running != current_ &&
+        proc.running->state == FiberState::kRunning) {
+      proc.running->preempt_requested = true;
+      ++flagged;
+    }
+  }
+  return flagged;
+}
+
+// --- Run loop -------------------------------------------------------------------
+
+Time Kernel::Run() {
+  while (queue_.RunOne()) {
+  }
+  if (live_fibers_ > 0) {
+    AMBER_LOG(kWarn) << "simulation ended with " << live_fibers_
+                     << " live fibers (deadlock or leaked threads)";
+    for (const auto& f : fibers_) {
+      if (f->state != FiberState::kFinished) {
+        AMBER_LOG(kWarn) << "  live fiber: " << f->name << " state="
+                         << static_cast<int>(f->state) << " node=" << f->node;
+      }
+    }
+  }
+  return queue_.now();
+}
+
+Duration Kernel::NodeBusyTime(NodeId node) const {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  return nodes_[node].busy_ns;
+}
+
+int Kernel::RunQueueLength(NodeId node) const {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  return static_cast<int>(nodes_[node].queue->Size());
+}
+
+int Kernel::BusyProcessors(NodeId node) const {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  return procs_per_node_ - static_cast<int>(nodes_[node].free_procs.size());
+}
+
+}  // namespace sim

@@ -1,0 +1,189 @@
+// The discrete-event simulation kernel.
+//
+// One Kernel simulates a cluster of `nodes` shared-memory multiprocessors
+// with `procs_per_node` processors each, on a single host thread, in virtual
+// time. Fibers execute real code; their elapsed time is whatever they Charge.
+//
+// Ordering discipline
+// -------------------
+// Events execute in strict (time, sequence) order, so any state shared
+// between fibers must only be touched at an *ordered point*: inside an event
+// handler, or in fiber code immediately after Kernel::Sync() (which re-enters
+// the fiber through the event queue at its current virtual time). Pure
+// computation (Charge) may run ahead of the clock safely because it touches
+// nothing shared. All Amber runtime primitives Sync() on entry. Preemption
+// requests take effect at the next charge boundary or sync point, bounding
+// the interleaving granularity by the scheduling quantum — the same
+// granularity at which a real multiprocessor node would service the §3.5
+// move-time preemption interrupt.
+
+#ifndef AMBER_SRC_SIM_KERNEL_H_
+#define AMBER_SRC_SIM_KERNEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/time.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/fiber.h"
+#include "src/sim/run_queue.h"
+
+namespace sim {
+
+class Kernel {
+ public:
+  struct Config {
+    int nodes = 1;
+    int procs_per_node = 1;
+    CostModel cost;
+  };
+
+  explicit Kernel(const Config& config);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- Setup / teardown ----------------------------------------------------
+
+  // Creates a fiber that will run fn on `node`. The stack is borrowed, not
+  // owned; it must outlive the fiber. The fiber becomes ready at the current
+  // virtual time. Callable from host code (before Run) or from fiber code.
+  Fiber* Spawn(NodeId node, void* stack_base, size_t stack_size, std::function<void()> fn,
+               std::string name = "");
+
+  // Frees the kernel's record of a finished fiber. The caller reclaims the
+  // stack. Must not be called on a live fiber.
+  void DestroyFiber(Fiber* f);
+
+  // Replaces a node's scheduling policy. Queued fibers are transferred.
+  void SetRunQueue(NodeId node, std::unique_ptr<RunQueue> queue);
+  RunQueue& run_queue(NodeId node);
+
+  // Hook invoked in fiber context whenever a fiber is dispatched again after
+  // blocking or being preempted — Amber's context-switch-in residency check
+  // (§3.5) lives here.
+  void SetResumeHook(std::function<void(Fiber*)> hook) { resume_hook_ = std::move(hook); }
+
+  // --- Fiber-facing primitives (call only from fiber context) --------------
+
+  // Advances the running fiber's virtual time by d, honouring the timeslice:
+  // the fiber is preempted (and requeued) at quantum boundaries when other
+  // work is waiting or a preemption was requested.
+  void Charge(Duration d);
+
+  // Re-enters the fiber through the event queue at its current virtual time.
+  // Establishes an ordered point; see the header comment.
+  void Sync();
+
+  // Voluntarily yields the processor: requeue on this node and reschedule.
+  void Yield();
+
+  // Blocks until another party calls Wake. The caller must have registered
+  // itself with that party *after* a Sync() — see the ordering discipline.
+  void Block();
+
+  // Moves the running fiber to `node`, arriving at time `arrive` (>= current
+  // vtime). The processor is released now; the fiber joins the destination
+  // run queue at `arrive`. Used for Amber thread migration.
+  void TravelTo(NodeId node, Time arrive);
+
+  // Suspends the running fiber WITHOUT releasing its processor — the
+  // processor spins (stays busy) until SpinResume. Models non-relinquishing
+  // locks (§2.2): latency-optimal, throughput-hostile.
+  void SpinWait();
+
+  // Resumes a SpinWait-ed fiber at time t (>= now). Call from an ordered
+  // point. The spinner's virtual time jumps to t; its processor was busy
+  // throughout.
+  void SpinResume(Fiber* f, Time t);
+
+  // Terminates the running fiber (runs its on_exit first). Does not return.
+  [[noreturn]] void Exit();
+
+  // --- Kernel-facing primitives (event handlers or ordered fiber code) -----
+
+  void Post(Time t, std::function<void()> fn) { queue_.Post(t, std::move(fn)); }
+
+  // Makes a blocked fiber ready on its current node at time t.
+  void Wake(Fiber* f, Time t);
+
+  // Flags every fiber currently running on `node` for preemption; each will
+  // be requeued at its next charge boundary or sync point and will run the
+  // resume hook when dispatched again. Returns how many were flagged.
+  int RequestPreempt(NodeId node);
+
+  // --- Clock / introspection ------------------------------------------------
+
+  // Current virtual time: the running fiber's vtime, else the event clock.
+  Time Now() const;
+
+  Fiber* current() const { return current_; }
+  int nodes() const { return static_cast<int>(nodes_.size()); }
+  int procs_per_node() const { return procs_per_node_; }
+  const CostModel& cost() const { return cost_; }
+  CostModel& mutable_cost() { return cost_; }
+
+  // --- Run loop -------------------------------------------------------------
+
+  // Processes events until none remain. Returns the final virtual time.
+  Time Run();
+
+  // Fibers spawned but not finished. Nonzero after Run() means deadlock.
+  int live_fibers() const { return live_fibers_; }
+
+  // --- Statistics ------------------------------------------------------------
+
+  // Total processor-busy virtual time on a node (for utilization reports).
+  Duration NodeBusyTime(NodeId node) const;
+
+  // Instantaneous load introspection (for placement policies).
+  int RunQueueLength(NodeId node) const;
+  int BusyProcessors(NodeId node) const;
+  uint64_t dispatches() const { return dispatches_; }
+  uint64_t preemptions() const { return preemptions_; }
+  uint64_t events_run() const { return queue_.events_run(); }
+
+ private:
+  struct Processor {
+    Fiber* running = nullptr;
+    Time busy_since = 0;
+  };
+  struct NodeState {
+    std::vector<Processor> procs;
+    std::vector<int> free_procs;  // LIFO stack of free processor indices
+    std::unique_ptr<RunQueue> queue;
+    Duration busy_ns = 0;
+  };
+
+  static void FiberEntry(void* arg);
+
+  void EnqueueReady(Fiber* f, Time t);
+  void TryDispatch(NodeId node);
+  void ReleaseProcessorAndMaybeRequeue(Fiber* f, bool requeue);
+  void SwitchToKernel(Fiber* f);
+  void AfterResume(Fiber* f);
+  // Preempts the running fiber at its current vtime (requeue + release).
+  void PreemptSelf();
+
+  EventQueue queue_;
+  CostModel cost_;
+  int procs_per_node_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  Fiber* current_ = nullptr;
+  Context kernel_ctx_;
+  std::function<void(Fiber*)> resume_hook_;
+  uint64_t next_fiber_id_ = 1;
+  int live_fibers_ = 0;
+  uint64_t dispatches_ = 0;
+  uint64_t preemptions_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // AMBER_SRC_SIM_KERNEL_H_

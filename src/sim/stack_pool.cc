@@ -1,0 +1,46 @@
+#include "src/sim/stack_pool.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/base/panic.h"
+
+namespace sim {
+
+StackPool::StackPool(size_t usable_size) {
+  page_size_ = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  usable_size_ = (usable_size + page_size_ - 1) & ~(page_size_ - 1);
+}
+
+StackPool::~StackPool() {
+  for (void* m : mappings_) {
+    munmap(m, usable_size_ + page_size_);
+  }
+}
+
+void* StackPool::Allocate() {
+  ++allocated_;
+  if (!free_list_.empty()) {
+    void* base = free_list_.back();
+    free_list_.pop_back();
+    return base;
+  }
+  void* raw = mmap(nullptr, usable_size_ + page_size_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  AMBER_CHECK(raw != MAP_FAILED) << "stack mmap failed";
+  // Guard page at the low end: stacks grow down, so overflow hits it.
+  AMBER_CHECK(mprotect(raw, page_size_, PROT_NONE) == 0);
+  mappings_.push_back(raw);
+  return static_cast<char*>(raw) + page_size_;
+}
+
+void StackPool::Free(void* base) {
+  AMBER_CHECK(base != nullptr);
+  AMBER_DCHECK(allocated_ > 0);
+  --allocated_;
+  free_list_.push_back(base);
+}
+
+}  // namespace sim

@@ -1,0 +1,43 @@
+// mmap-backed fiber stacks with guard pages.
+//
+// Used by the simulator's own tests and by the Amber runtime before the
+// global address space is up. Amber thread stacks normally come from the
+// global object space (mem::) so that threads are mobile objects; this pool
+// is the standalone equivalent.
+
+#ifndef AMBER_SRC_SIM_STACK_POOL_H_
+#define AMBER_SRC_SIM_STACK_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sim {
+
+class StackPool {
+ public:
+  // usable_size is rounded up to whole pages; one extra PROT_NONE guard page
+  // sits below every stack so overflow faults instead of corrupting.
+  explicit StackPool(size_t usable_size = 256 * 1024);
+  ~StackPool();
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  // Returns the base of a usable stack region of stack_size() bytes.
+  void* Allocate();
+  void Free(void* base);
+
+  size_t stack_size() const { return usable_size_; }
+  size_t outstanding() const { return allocated_; }
+
+ private:
+  size_t usable_size_;
+  size_t page_size_;
+  std::vector<void*> free_list_;   // usable bases available for reuse
+  std::vector<void*> mappings_;    // raw mmap bases (guard page included)
+  size_t allocated_ = 0;
+};
+
+}  // namespace sim
+
+#endif  // AMBER_SRC_SIM_STACK_POOL_H_

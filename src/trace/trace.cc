@@ -1,0 +1,87 @@
+#include "src/trace/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace trace {
+namespace {
+
+const char* KindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kThreadMigrate:
+      return "thread-migrate";
+    case EventKind::kObjectMove:
+      return "object-move";
+    case EventKind::kReplicaInstall:
+      return "replica-install";
+    case EventKind::kMessage:
+      return "message";
+  }
+  return "?";
+}
+
+// Minimal JSON string escaping (labels are runtime-generated, but be safe).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Tracer::ObjLabel(const void* obj) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "obj-%" PRIxPTR, reinterpret_cast<uintptr_t>(obj));
+  return buf;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& out) const {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  char buf[384];
+  for (const Event& e : events_) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    if (e.kind == EventKind::kMessage) {
+      // Render messages as duration events on the source node's "net" row.
+      const Time arrive = std::stoll(e.label);
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"msg %d->%d (%lld B)\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":%d,\"tid\":\"net\",\"cat\":\"message\"}",
+                    e.src, e.dst, static_cast<long long>(e.bytes),
+                    static_cast<double>(e.when) / 1000.0,
+                    static_cast<double>(arrive - e.when) / 1000.0, e.src);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s %s %d->%d\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,"
+                    "\"tid\":\"%s\",\"s\":\"p\",\"cat\":\"%s\"}",
+                    KindName(e.kind), Escape(e.label).c_str(), e.src, e.dst,
+                    static_cast<double>(e.when) / 1000.0, e.src, KindName(e.kind),
+                    KindName(e.kind));
+    }
+    out << buf;
+  }
+  out << "\n]}\n";
+}
+
+void Tracer::WriteText(std::ostream& out) const {
+  char buf[256];
+  for (const Event& e : events_) {
+    std::snprintf(buf, sizeof(buf), "%12.3f ms  %-16s %d -> %d  %8lld B  %s\n",
+                  static_cast<double>(e.when) / 1e6, KindName(e.kind), e.src, e.dst,
+                  static_cast<long long>(e.bytes), e.label.c_str());
+    out << buf;
+  }
+}
+
+}  // namespace trace

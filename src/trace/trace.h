@@ -1,0 +1,82 @@
+// Execution tracing.
+//
+// Records the runtime's distribution events — thread migrations, object
+// moves, replica installs, network messages — with virtual timestamps, and
+// renders them as chrome://tracing JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) or as a plain-text log. Deterministic runs
+// produce byte-identical traces, so traces diff cleanly across changes.
+//
+// Attach with Runtime::SetObserver(&tracer) before Run().
+
+#ifndef AMBER_SRC_TRACE_TRACE_H_
+#define AMBER_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace trace {
+
+using amber::NodeId;
+using amber::Time;
+
+enum class EventKind : uint8_t {
+  kThreadMigrate,
+  kObjectMove,
+  kReplicaInstall,
+  kMessage,
+};
+
+struct Event {
+  EventKind kind;
+  Time when;
+  NodeId src;
+  NodeId dst;
+  int64_t bytes;
+  std::string label;  // thread name or object id
+};
+
+class Tracer : public amber::RuntimeObserver {
+ public:
+  // --- RuntimeObserver -------------------------------------------------------
+  void OnThreadMigrate(Time when, NodeId src, NodeId dst, const std::string& thread,
+                       int64_t bytes) override {
+    events_.push_back({EventKind::kThreadMigrate, when, src, dst, bytes, thread});
+  }
+  void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst,
+                    int64_t bytes) override {
+    events_.push_back({EventKind::kObjectMove, when, src, dst, bytes, ObjLabel(obj)});
+  }
+  void OnReplicaInstall(Time when, const void* obj, NodeId node) override {
+    events_.push_back({EventKind::kReplicaInstall, when, node, node, 0, ObjLabel(obj)});
+  }
+  void OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) override {
+    events_.push_back({EventKind::kMessage, depart, src, dst, bytes,
+                       std::to_string(arrive)});
+  }
+
+  // --- Access / rendering ------------------------------------------------------
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // chrome://tracing "trace event format" JSON: one instant event per
+  // distribution event, grouped by node (pid = node).
+  void WriteChromeTrace(std::ostream& out) const;
+
+  // Plain-text timeline, one line per event.
+  void WriteText(std::ostream& out) const;
+
+ private:
+  static std::string ObjLabel(const void* obj);
+
+  std::vector<Event> events_;
+};
+
+}  // namespace trace
+
+#endif  // AMBER_SRC_TRACE_TRACE_H_

@@ -1,0 +1,144 @@
+// Calibration regression tests: pin the paper-facing numbers so cost-model
+// or protocol changes that would break the reproduction fail loudly here
+// rather than silently skewing EXPERIMENTS.md.
+//
+// Bands are deliberately loose (the claim is *shape*, not digits) but tight
+// enough to catch structural regressions: a lost overlap, a forgotten
+// charge, a protocol change that adds a round trip.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/sor/sor.h"
+#include "src/core/amber.h"
+
+namespace amber {
+namespace {
+
+class Packet : public Object {
+ public:
+  int Noop() { return 0; }
+
+ private:
+  char payload_[1000];
+};
+
+class Anchor : public Object {
+ public:
+  double LocalInvokeUs(int trials) {
+    auto obj = New<Packet>();
+    const Time t0 = Now();
+    for (int i = 0; i < trials; ++i) {
+      obj.Call(&Packet::Noop);
+    }
+    return ToMicros(Now() - t0) / trials;
+  }
+
+  double RemoteInvokeMs() {
+    auto obj = New<Packet>();
+    MoveTo(obj, 1);
+    obj.Call(&Packet::Noop);  // warm hint
+    MoveTo(obj, 2);           // one-hop-stale hint
+    const Time t0 = Now();
+    obj.Call(&Packet::Noop);
+    return ToMillis(Now() - t0);
+  }
+
+  double CreateMs() {
+    const Time t0 = Now();
+    New<Packet>();
+    return ToMillis(Now() - t0);
+  }
+
+  double MoveMs() {
+    auto obj = New<Packet>();
+    const Time t0 = Now();
+    MoveTo(obj, 3);
+    return ToMillis(Now() - t0);
+  }
+
+  double ThreadMs() {
+    auto obj = New<Packet>();
+    const Time t0 = Now();
+    auto t = StartThread(obj, &Packet::Noop);
+    t.Join();
+    return ToMillis(Now() - t0);
+  }
+};
+
+TEST(CalibrationTest, Table1OperationsWithinBands) {
+  Runtime::Config config;
+  config.nodes = 4;
+  config.procs_per_node = 4;
+  Runtime rt(config);
+  rt.Run([&] {
+    auto bench = New<Anchor>();
+    // paper: 0.012 ms — ours must be exactly the two check charges.
+    const double local_us = bench.Call(&Anchor::LocalInvokeUs, 32);
+    EXPECT_NEAR(local_us, ToMicros(rt.cost().local_invoke + rt.cost().local_return), 0.5);
+    // paper: 0.18 ms.
+    const double create_ms = bench.Call(&Anchor::CreateMs);
+    EXPECT_GT(create_ms, 0.10);
+    EXPECT_LT(create_ms, 0.30);
+    // paper: 8.32 ms (one forwarding hop).
+    const double remote_ms = bench.Call(&Anchor::RemoteInvokeMs);
+    EXPECT_GT(remote_ms, 4.0);
+    EXPECT_LT(remote_ms, 12.0);
+    // paper: 12.43 ms (local-source move is the cheap case: >= ~3 ms).
+    const double move_ms = bench.Call(&Anchor::MoveMs);
+    EXPECT_GT(move_ms, 2.0);
+    EXPECT_LT(move_ms, 20.0);
+    // paper: 1.33 ms.
+    const double thread_ms = bench.Call(&Anchor::ThreadMs);
+    EXPECT_GT(thread_ms, 0.7);
+    EXPECT_LT(thread_ms, 2.5);
+  });
+}
+
+TEST(CalibrationTest, Figure2HeadlineSpeedupBand) {
+  // The paper's flagship number: speedup ~25 at 8Nx4P on the 122x842 grid.
+  // 30 iterations suffice for a steady-state per-iteration ratio.
+  sor::Params p;
+  p.max_iterations = 30;
+  const sim::CostModel cost;
+  const sor::Result seq = sor::RunSequentialOn(p, cost);
+  const sor::Result par = sor::RunAmberOn(8, 4, p, cost);
+  ASSERT_EQ(par.grid_hash, seq.grid_hash);
+  const double speedup =
+      static_cast<double>(seq.solve_time) / static_cast<double>(par.solve_time);
+  EXPECT_GT(speedup, 21.0);
+  EXPECT_LT(speedup, 29.0);
+}
+
+TEST(CalibrationTest, EqualProcessorConfigsMatch) {
+  // Paper: "nearly identical speedups ... for all of the experiments
+  // involving a total of four processors (1Nx4P, 2Nx2P, 4Nx1P)".
+  sor::Params p;
+  p.max_iterations = 25;
+  const sim::CostModel cost;
+  const sor::Result seq = sor::RunSequentialOn(p, cost);
+  const double s14 = static_cast<double>(seq.solve_time) /
+                     static_cast<double>(sor::RunAmberOn(1, 4, p, cost).solve_time);
+  const double s22 = static_cast<double>(seq.solve_time) /
+                     static_cast<double>(sor::RunAmberOn(2, 2, p, cost).solve_time);
+  const double s41 = static_cast<double>(seq.solve_time) /
+                     static_cast<double>(sor::RunAmberOn(4, 1, p, cost).solve_time);
+  EXPECT_NEAR(s14, s22, 0.35);
+  EXPECT_NEAR(s22, s41, 0.35);
+  EXPECT_GT(s41, 3.4);
+}
+
+TEST(CalibrationTest, OverlapBeatsNoOverlapAtScale) {
+  sor::Params p;
+  p.max_iterations = 25;
+  const sim::CostModel cost;
+  const sor::Result on = sor::RunAmberOn(8, 4, p, cost);
+  sor::Params p2 = p;
+  p2.overlap = false;
+  const sor::Result off = sor::RunAmberOn(8, 4, p2, cost);
+  EXPECT_EQ(on.grid_hash, off.grid_hash);
+  EXPECT_LT(static_cast<double>(on.solve_time), 0.97 * static_cast<double>(off.solve_time))
+      << "overlap must be a clear win at 8Nx4P (the Figure 2 pair)";
+}
+
+}  // namespace
+}  // namespace amber

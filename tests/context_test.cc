@@ -1,0 +1,215 @@
+// Tests for the machine-context layer: correctness of switching, argument
+// passing, stack isolation, floating-point state, and deep nesting.
+
+#include "src/sim/context.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/sim/stack_pool.h"
+
+namespace sim {
+namespace {
+
+struct PingPong {
+  Context main_ctx;
+  Context fiber_ctx;
+  std::vector<int> trace;
+};
+
+void PingPongEntry(void* arg) {
+  auto* pp = static_cast<PingPong*>(arg);
+  pp->trace.push_back(1);
+  Context::Switch(&pp->fiber_ctx, &pp->main_ctx);
+  pp->trace.push_back(3);
+  Context::Switch(&pp->fiber_ctx, &pp->main_ctx);
+  ADD_FAILURE() << "resumed dead fiber";
+}
+
+TEST(ContextTest, PingPongOrdering) {
+  StackPool pool;
+  PingPong pp;
+  void* stack = pool.Allocate();
+  pp.fiber_ctx.Init(stack, pool.stack_size(), &PingPongEntry, &pp);
+
+  pp.trace.push_back(0);
+  Context::Switch(&pp.main_ctx, &pp.fiber_ctx);
+  pp.trace.push_back(2);
+  Context::Switch(&pp.main_ctx, &pp.fiber_ctx);
+  pp.trace.push_back(4);
+
+  EXPECT_EQ(pp.trace, (std::vector<int>{0, 1, 2, 3, 4}));
+  pool.Free(stack);
+}
+
+struct ArgCheck {
+  Context main_ctx;
+  Context fiber_ctx;
+  void* seen_arg = nullptr;
+};
+
+void ArgEntry(void* arg) {
+  auto* ac = static_cast<ArgCheck*>(arg);
+  ac->seen_arg = arg;
+  Context::Switch(&ac->fiber_ctx, &ac->main_ctx);
+}
+
+TEST(ContextTest, ArgumentReachesEntry) {
+  StackPool pool;
+  ArgCheck ac;
+  void* stack = pool.Allocate();
+  ac.fiber_ctx.Init(stack, pool.stack_size(), &ArgEntry, &ac);
+  Context::Switch(&ac.main_ctx, &ac.fiber_ctx);
+  EXPECT_EQ(ac.seen_arg, &ac);
+  pool.Free(stack);
+}
+
+struct Counters {
+  Context main_ctx;
+  std::vector<Context*> fibers;
+  std::vector<int> counts;
+  int rounds = 0;
+};
+Counters* g_counters = nullptr;
+
+void CountingEntry(void* arg) {
+  const int index = static_cast<int>(reinterpret_cast<intptr_t>(arg));
+  // Local state must survive across switches — this is the whole point of a
+  // private stack per fiber.
+  int local = 0;
+  for (int r = 0; r < g_counters->rounds; ++r) {
+    ++local;
+    g_counters->counts[index] = local;
+    Context::Switch(g_counters->fibers[index], &g_counters->main_ctx);
+  }
+  Context::Switch(g_counters->fibers[index], &g_counters->main_ctx);
+}
+
+TEST(ContextTest, ManyFibersKeepPrivateStackState) {
+  constexpr int kFibers = 16;
+  constexpr int kRounds = 50;
+  StackPool pool(64 * 1024);
+  Counters counters;
+  counters.rounds = kRounds;
+  counters.counts.assign(kFibers, 0);
+  g_counters = &counters;
+
+  std::vector<void*> stacks;
+  std::vector<std::unique_ptr<Context>> ctxs;
+  for (int i = 0; i < kFibers; ++i) {
+    ctxs.push_back(std::make_unique<Context>());
+    counters.fibers.push_back(ctxs.back().get());
+    stacks.push_back(pool.Allocate());
+    ctxs.back()->Init(stacks.back(), pool.stack_size(), &CountingEntry,
+                      reinterpret_cast<void*>(static_cast<intptr_t>(i)));
+  }
+  for (int r = 0; r < kRounds; ++r) {
+    for (int i = 0; i < kFibers; ++i) {
+      Context::Switch(&counters.main_ctx, counters.fibers[i]);
+      EXPECT_EQ(counters.counts[i], r + 1);
+    }
+  }
+  for (int i = 0; i < kFibers; ++i) {
+    Context::Switch(&counters.main_ctx, counters.fibers[i]);  // let each finish
+    pool.Free(stacks[i]);
+  }
+  g_counters = nullptr;
+}
+
+struct FpCheck {
+  Context main_ctx;
+  Context fiber_ctx;
+  double result = 0.0;
+};
+
+void FpEntry(void* arg) {
+  auto* fc = static_cast<FpCheck*>(arg);
+  // Exercises SSE math across a switch boundary: the compiler may keep
+  // values in xmm registers which are caller-saved — a cooperative switch
+  // must still produce correct results because it happens at a call.
+  double acc = 1.0;
+  for (int i = 1; i <= 10; ++i) {
+    acc = acc * 1.5 + static_cast<double>(i);
+    Context::Switch(&fc->fiber_ctx, &fc->main_ctx);
+  }
+  fc->result = acc;
+  Context::Switch(&fc->fiber_ctx, &fc->main_ctx);
+}
+
+TEST(ContextTest, FloatingPointSurvivesSwitches) {
+  StackPool pool;
+  FpCheck fc;
+  void* stack = pool.Allocate();
+  fc.fiber_ctx.Init(stack, pool.stack_size(), &FpEntry, &fc);
+  for (int i = 0; i < 11; ++i) {
+    Context::Switch(&fc.main_ctx, &fc.fiber_ctx);
+  }
+  double expect = 1.0;
+  for (int i = 1; i <= 10; ++i) {
+    expect = expect * 1.5 + static_cast<double>(i);
+  }
+  EXPECT_DOUBLE_EQ(fc.result, expect);
+  pool.Free(stack);
+}
+
+struct DeepCall {
+  Context main_ctx;
+  Context fiber_ctx;
+  int max_depth = 0;
+};
+
+int Recurse(DeepCall* dc, int depth) {
+  volatile char pad[512];  // consume real stack
+  pad[0] = static_cast<char>(depth);
+  if (depth == 0) {
+    dc->max_depth = 1;
+    Context::Switch(&dc->fiber_ctx, &dc->main_ctx);
+    return static_cast<int>(pad[0]);
+  }
+  const int r = Recurse(dc, depth - 1) + 1;
+  dc->max_depth = std::max(dc->max_depth, r);
+  return r;
+}
+
+void DeepEntry(void* arg) {
+  auto* dc = static_cast<DeepCall*>(arg);
+  Recurse(dc, 100);  // ~50 KB of frames on a 256 KB stack
+  Context::Switch(&dc->fiber_ctx, &dc->main_ctx);
+}
+
+TEST(ContextTest, SwitchFromDeepCallStack) {
+  StackPool pool;
+  DeepCall dc;
+  void* stack = pool.Allocate();
+  dc.fiber_ctx.Init(stack, pool.stack_size(), &DeepEntry, &dc);
+  Context::Switch(&dc.main_ctx, &dc.fiber_ctx);  // suspended at depth 100
+  EXPECT_EQ(dc.max_depth, 1);
+  Context::Switch(&dc.main_ctx, &dc.fiber_ctx);  // unwind and finish
+  EXPECT_EQ(dc.max_depth, 100);
+  pool.Free(stack);
+}
+
+TEST(StackPoolTest, ReusesFreedStacks) {
+  StackPool pool(16 * 1024);
+  void* a = pool.Allocate();
+  pool.Free(a);
+  void* b = pool.Allocate();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  pool.Free(b);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(StackPoolTest, StacksAreWritableOverFullExtent) {
+  StackPool pool(32 * 1024);
+  void* a = pool.Allocate();
+  std::memset(a, 0xab, pool.stack_size());
+  EXPECT_EQ(static_cast<unsigned char*>(a)[0], 0xab);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[pool.stack_size() - 1], 0xab);
+  pool.Free(a);
+}
+
+}  // namespace
+}  // namespace sim

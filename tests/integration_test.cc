@@ -1,0 +1,210 @@
+// End-to-end integration scenarios combining the whole stack: placement
+// policies, mobility, threads, synchronization, tracing, and the cluster
+// report, in one program — the kind of application a downstream user would
+// actually write.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/amber.h"
+#include "src/core/cluster_report.h"
+#include "src/core/placement.h"
+#include "src/trace/trace.h"
+
+namespace amber {
+namespace {
+
+// A work item repository sharded over the cluster; shards are placed by
+// policy, workers process them in parallel, results funnel to a monitor.
+class Shard : public Object {
+ public:
+  explicit Shard(int items) : items_(items) {}
+
+  int64_t Process(Duration per_item) {
+    int64_t sum = 0;
+    for (int i = 0; i < items_; ++i) {
+      Work(per_item);
+      sum += i;
+    }
+    return sum;
+  }
+
+ private:
+  const int items_;
+};
+
+class Collector : public Object {
+ public:
+  void Report(int64_t value) {
+    MonitorGuard g(lock_);
+    total_ += value;
+    ++reports_;
+    done_.Broadcast();
+  }
+  int64_t AwaitTotal(int expected) {
+    lock_.Acquire();
+    while (reports_ < expected) {
+      done_.Wait(lock_);
+    }
+    const int64_t t = total_;
+    lock_.Release();
+    return t;
+  }
+
+ private:
+  Lock lock_;
+  Condition done_;
+  int64_t total_ = 0;
+  int reports_ = 0;
+};
+
+class PipelineWorker : public Object {
+ public:
+  int64_t Run(Ref<Shard> shard, Ref<Collector> collector, Duration per_item) {
+    const int64_t v = shard.Call(&Shard::Process, per_item);
+    collector.Call(&Collector::Report, v);
+    return v;
+  }
+};
+
+TEST(IntegrationTest, ShardedComputationWithPlacementAndTrace) {
+  Runtime::Config config;
+  config.nodes = 4;
+  config.procs_per_node = 2;
+  config.arena_bytes = size_t{256} << 20;
+  Runtime rt(config);
+  trace::Tracer tracer;
+  rt.SetObserver(&tracer);
+
+  constexpr int kShards = 8;
+  constexpr int kItemsPerShard = 50;
+  int64_t total = 0;
+  Time elapsed = 0;
+  rt.Run([&] {
+    RoundRobinPlacer placer;
+    auto collector = New<Collector>();
+    std::vector<Ref<Shard>> shards;
+    for (int s = 0; s < kShards; ++s) {
+      shards.push_back(placer.Place<Shard>(kItemsPerShard));
+    }
+    const Time t0 = Now();
+    std::vector<ThreadRef<int64_t>> workers;
+    for (auto& s : shards) {
+      auto w = New<PipelineWorker>();
+      workers.push_back(StartThread(w, &PipelineWorker::Run, s, collector,
+                                    Duration{kMicrosecond * 500}));
+    }
+    total = collector.Call(&Collector::AwaitTotal, kShards);
+    for (auto& w : workers) {
+      w.Join();
+    }
+    elapsed = Now() - t0;
+    rt.ValidateLocationInvariants();
+  });
+
+  // Arithmetic: each shard sums 0..49.
+  EXPECT_EQ(total, kShards * (kItemsPerShard * (kItemsPerShard - 1) / 2));
+  // Parallelism: 8 shards x 25 ms of work over 8 CPUs finishes way under
+  // the 200 ms serial time.
+  EXPECT_LT(elapsed, Millis(80));
+  EXPECT_GE(elapsed, Millis(25));
+  // Every node did real work (round-robin placement).
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_GT(rt.sim().NodeBusyTime(n), Millis(20)) << "node " << n;
+  }
+  // The tracer saw the worker migrations and the report traffic.
+  EXPECT_GT(tracer.size(), 20u);
+  // And the cluster report renders with migrations on every row.
+  const std::string report = ClusterReport(rt, elapsed);
+  EXPECT_NE(report.find("thread-migration matrix"), std::string::npos);
+}
+
+// Shared scenario for the rebalance pair: 4 shards all created on node 0
+// (bad placement); optionally rebalanced live with MoveTo while their
+// worker threads execute — the §2.3 story end to end.
+Time RunRebalanceScenario(bool rebalance) {
+  Runtime::Config config;
+  config.nodes = 4;
+  config.procs_per_node = 1;
+  config.arena_bytes = size_t{256} << 20;
+  sim::CostModel cost;
+  cost.quantum = Millis(2);  // reschedule often: bound threads chase sooner
+  config.cost = cost;
+  Runtime rt(config);
+  Time elapsed = 0;
+  rt.Run([&] {
+    std::vector<Ref<Shard>> shards;
+    for (int s = 0; s < 4; ++s) {
+      shards.push_back(New<Shard>(40));  // all on node 0
+    }
+    const Time t0 = Now();
+    // A rebalancer on an idle node moves three shards away (requesting
+    // moves from node 0, whose CPU the workers saturate); the bound worker
+    // threads chase lazily at their next reschedule (§3.5). It is started
+    // first so it escapes node 0 before the workers monopolize the CPU —
+    // a rebalancer queued behind the overload it is meant to fix would
+    // itself starve (a lesson this test originally learned the hard way).
+    class Rebalancer : public Object {
+     public:
+      int MoveOne(Ref<Shard> shard, NodeId dst) {
+        MoveTo(shard, dst);
+        return 0;
+      }
+      int Spread(std::vector<Ref<Shard>> shards) {
+        Work(Millis(2));  // let the workers get going
+        // Issue the three moves concurrently: each is a blocking protocol
+        // round, but they overlap on the wire.
+        std::vector<ThreadRef<int>> movers;
+        for (int s = 1; s < 4; ++s) {
+          movers.push_back(StartThread(Ref<Rebalancer>(this), &Rebalancer::MoveOne,
+                                       shards[static_cast<size_t>(s)],
+                                       static_cast<NodeId>(s)));
+        }
+        for (auto& m : movers) {
+          m.Join();
+        }
+        return 0;
+      }
+    };
+    ThreadRef<int> balancer_thread;
+    if (rebalance) {
+      auto balancer = NewOn<Rebalancer>(3);
+      balancer_thread = StartThread(balancer, &Rebalancer::Spread, shards);
+    }
+    std::vector<ThreadRef<int64_t>> workers;
+    for (auto& s : shards) {
+      workers.push_back(StartThread(s, &Shard::Process, Duration{kMicrosecond * 500}));
+    }
+    if (rebalance) {
+      balancer_thread.Join();
+    }
+    for (auto& w : workers) {
+      EXPECT_EQ(w.Join(), 40 * 39 / 2);
+    }
+    elapsed = Now() - t0;
+    rt.ValidateLocationInvariants();
+    if (rebalance) {
+      for (int s = 1; s < 4; ++s) {
+        EXPECT_EQ(rt.OwnerOf(shards[static_cast<size_t>(s)].object()), s);
+      }
+    }
+  });
+  return elapsed;
+}
+
+TEST(IntegrationTest, DynamicRebalanceUnderLoad) {
+  const Time balanced = RunRebalanceScenario(/*rebalance=*/true);
+  const Time serial = RunRebalanceScenario(/*rebalance=*/false);
+  // 4 x 20 ms of work: pinned to one CPU it is fully serial. The live
+  // rebalance spreads it out — but not instantly: bound threads migrate
+  // *lazily* at their next reschedule (§3.5), and the rebalancer itself
+  // pays thread-creation and move-protocol latencies first, so the win is
+  // bounded well away from the ideal 4x. A clear (>25%) improvement with
+  // correct final placement is the property under test.
+  EXPECT_LT(static_cast<double>(balanced), 0.72 * static_cast<double>(serial))
+      << "balanced " << ToMillis(balanced) << " ms vs serial " << ToMillis(serial) << " ms";
+}
+
+}  // namespace
+}  // namespace amber

@@ -1,0 +1,120 @@
+// Property/stress tests for the simulation kernel: a randomized mix of
+// charges, syncs, yields, travels, blocks/wakes and spawns must preserve
+// the kernel's accounting invariants and remain deterministic.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/sim/kernel.h"
+#include "src/sim/stack_pool.h"
+
+namespace sim {
+namespace {
+
+using amber::Micros;
+using amber::Millis;
+using amber::Time;
+
+struct StressResult {
+  Time end_time;
+  uint64_t dispatches;
+  uint64_t preemptions;
+  uint64_t events;
+  int64_t actions;
+  std::vector<amber::Duration> busy;
+};
+
+StressResult RunStress(uint64_t seed, int fibers, int nodes, int procs) {
+  Kernel::Config config;
+  config.nodes = nodes;
+  config.procs_per_node = procs;
+  config.cost.quantum = Millis(1);
+  Kernel kernel(config);
+  StackPool pool(64 * 1024);
+  StressResult result{};
+
+  std::vector<void*> stacks;
+  for (int i = 0; i < fibers; ++i) {
+    void* stack = pool.Allocate();
+    stacks.push_back(stack);
+    kernel.Spawn(i % nodes, stack, pool.stack_size(), [&kernel, &result, seed, i, nodes] {
+      amber::Rng rng(seed * 1315423911u + static_cast<uint64_t>(i));
+      for (int step = 0; step < 60; ++step) {
+        ++result.actions;
+        switch (rng.Below(6)) {
+          case 0:
+          case 1:
+            kernel.Charge(Micros(static_cast<double>(50 + rng.Below(400))));
+            break;
+          case 2:
+            kernel.Sync();
+            break;
+          case 3:
+            kernel.Yield();
+            break;
+          case 4: {
+            kernel.Sync();
+            const NodeId dst = static_cast<NodeId>(rng.Below(static_cast<uint64_t>(nodes)));
+            if (dst != kernel.current()->node) {
+              kernel.TravelTo(dst, kernel.Now() + Micros(200));
+            }
+            break;
+          }
+          case 5: {
+            // Timed sleep: self-scheduled wake, then block. (Cross-fiber
+            // wakes are exercised by the lock/condition tests; a random
+            // parker here could strand if it parks after all potential
+            // wakers have finished.)
+            kernel.Sync();
+            kernel.Wake(kernel.current(), kernel.Now() + Micros(static_cast<double>(
+                                              100 + rng.Below(900))));
+            kernel.Block();
+            break;
+          }
+        }
+      }
+    });
+  }
+  result.end_time = kernel.Run();
+  EXPECT_EQ(kernel.live_fibers(), 0) << "stress run deadlocked";
+  result.dispatches = kernel.dispatches();
+  result.preemptions = kernel.preemptions();
+  result.events = kernel.events_run();
+  for (NodeId n = 0; n < nodes; ++n) {
+    result.busy.push_back(kernel.NodeBusyTime(n));
+  }
+  for (void* s : stacks) {
+    pool.Free(s);
+  }
+  return result;
+}
+
+class KernelStress : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelStress, RandomActionMixTerminatesConsistently) {
+  const StressResult r = RunStress(GetParam(), /*fibers=*/24, /*nodes=*/4, /*procs=*/2);
+  EXPECT_GT(r.end_time, 0);
+  EXPECT_EQ(r.actions, 24 * 60);
+  // Busy time can never exceed capacity: nodes × procs × elapsed.
+  for (amber::Duration busy : r.busy) {
+    EXPECT_LE(busy, 2 * r.end_time);
+    EXPECT_GE(busy, 0);
+  }
+  EXPECT_GE(r.dispatches, 24u);  // every fiber dispatched at least once
+}
+
+TEST_P(KernelStress, BitIdenticalReruns) {
+  const StressResult a = RunStress(GetParam(), 16, 3, 2);
+  const StressResult b = RunStress(GetParam(), 16, 3, 2);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.dispatches, b.dispatches);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.busy, b.busy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelStress,
+                         ::testing::Values(0x1uLL, 0x7uLL, 0x2AuLL, 0xFEEDuLL, 0xC0FFEEuLL));
+
+}  // namespace
+}  // namespace sim

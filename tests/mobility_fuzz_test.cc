@@ -1,0 +1,214 @@
+// Property-based fuzzing of the mobility protocol: random sequences of
+// moves, invocations, attach/unattach, immutability marking, thread starts
+// and joins — after which every location invariant must hold:
+//   * exactly one node holds each mutable object resident;
+//   * every forwarding chain terminates at the owner;
+//   * attachment groups are co-located;
+//   * no replica of a mutable object exists;
+//   * object state (a counter) is never lost or duplicated.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/amber.h"
+
+namespace amber {
+namespace {
+
+class Cell : public Object {
+ public:
+  int Bump() { return ++value_; }
+  int Get() const { return value_; }
+  NodeId WhereAmI() { return Here(); }
+
+ private:
+  int value_ = 0;
+};
+
+// Anchor object: keeps the fuzzing thread returning to a fixed node so its
+// own location does not drift with every call.
+class Fuzzer : public Object {
+ public:
+  struct Stats {
+    int calls = 0;
+    int moves = 0;
+    int attaches = 0;
+    int bumps_expected = 0;
+  };
+
+  Stats Run(uint64_t seed, int steps, int num_objects) {
+    Runtime& rt = Runtime::Current();
+    Rng rng(seed);
+    Stats stats;
+    std::vector<Ref<Cell>> cells;
+    std::vector<bool> attached(static_cast<size_t>(num_objects), false);
+    std::vector<bool> immutable(static_cast<size_t>(num_objects), false);
+    std::vector<int> expected(static_cast<size_t>(num_objects), 0);
+    for (int i = 0; i < num_objects; ++i) {
+      cells.push_back(New<Cell>());
+    }
+    for (int step = 0; step < steps; ++step) {
+      const auto i = static_cast<size_t>(rng.Below(static_cast<uint64_t>(num_objects)));
+      switch (rng.Below(6)) {
+        case 0:    // invoke (mutate unless immutable)
+        case 1: {
+          if (!immutable[i]) {
+            cells[i].Call(&Cell::Bump);
+            ++expected[i];
+            ++stats.bumps_expected;
+          } else {
+            cells[i].Call(&Cell::Get);
+          }
+          ++stats.calls;
+          break;
+        }
+        case 2: {  // move (roots only; attached children may not move)
+          if (!attached[i] && !immutable[i]) {
+            MoveTo(cells[i], static_cast<NodeId>(rng.Below(
+                                 static_cast<uint64_t>(Nodes()))));
+            ++stats.moves;
+          }
+          break;
+        }
+        case 3: {  // attach to a random other root
+          const auto j = static_cast<size_t>(rng.Below(static_cast<uint64_t>(num_objects)));
+          if (i != j && !attached[i] && !attached[j] && !immutable[i] && !immutable[j]) {
+            // Only attach roots with no children to keep the shadow model
+            // simple (the runtime itself supports deeper trees).
+            bool i_has_child = false;
+            for (size_t k = 0; k < attached.size(); ++k) {
+              // shadow: we only ever attach childless roots, so no check needed
+              (void)k;
+            }
+            if (!i_has_child) {
+              Attach(cells[i], cells[j]);
+              attached[i] = true;
+              parent_of_[cells[i].unchecked()] = cells[j].unchecked();
+              ++stats.attaches;
+            }
+          }
+          break;
+        }
+        case 4: {  // unattach
+          if (attached[i]) {
+            Unattach(cells[i]);
+            attached[i] = false;
+            parent_of_.erase(cells[i].unchecked());
+          }
+          break;
+        }
+        case 5: {  // freeze a fraction of objects
+          if (!immutable[i] && !attached[i] && rng.Below(4) == 0) {
+            bool has_child = false;
+            for (const auto& [child, parent] : parent_of_) {
+              if (parent == cells[i].unchecked()) {
+                has_child = true;
+              }
+            }
+            if (!has_child) {
+              MakeImmutable(cells[i]);
+              immutable[i] = true;
+            }
+          }
+          break;
+        }
+      }
+      if (step % 64 == 0) {
+        rt.ValidateLocationInvariants();
+      }
+    }
+    rt.ValidateLocationInvariants();
+    // State check: every bump survived every migration.
+    int total = 0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const int v = cells[i].Call(&Cell::Get);
+      EXPECT_EQ(v, expected[i]) << "object " << i << " lost or duplicated updates";
+      total += v;
+    }
+    EXPECT_EQ(total, stats.bumps_expected);
+    return stats;
+  }
+
+ private:
+  std::map<void*, void*> parent_of_;
+};
+
+class MobilityFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MobilityFuzz, RandomOpsPreserveInvariants) {
+  Runtime::Config config;
+  config.nodes = 6;
+  config.procs_per_node = 2;
+  config.arena_bytes = size_t{256} << 20;
+  Runtime rt(config);
+  rt.Run([&] {
+    auto fuzzer = New<Fuzzer>();
+    auto stats = fuzzer.Call(&Fuzzer::Run, GetParam(), 400, 12);
+    EXPECT_GT(stats.calls, 50);
+    EXPECT_GT(stats.moves, 10);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MobilityFuzz,
+                         ::testing::Values(0x1uLL, 0x2uLL, 0x3uLL, 0xDEADBEEFuLL, 0xA5A5A5uLL,
+                                           0x123456789uLL, 0x42uLL, 0x777uLL));
+
+// Concurrent variant: several threads fuzz disjoint object sets while a
+// mover shuffles a shared set — exercises bound-thread chasing under load.
+TEST(MobilityFuzzConcurrent, ThreadsChaseMovingObjects) {
+  Runtime::Config config;
+  config.nodes = 4;
+  config.procs_per_node = 2;
+  config.arena_bytes = size_t{256} << 20;
+  Runtime rt(config);
+  rt.Run([&] {
+    class Worker : public Object {
+     public:
+      int Hammer(Ref<Cell> cell, int n) {
+        for (int i = 0; i < n; ++i) {
+          cell.Call(&Cell::Bump);
+          Work(kMicrosecond * 400);
+        }
+        return n;
+      }
+    };
+    class Shuffler : public Object {
+     public:
+      int Shuffle(std::vector<Ref<Cell>> cells, int rounds, uint64_t seed) {
+        Rng rng(seed);
+        for (int r = 0; r < rounds; ++r) {
+          Work(kMillisecond * 2);
+          const auto i = rng.Below(cells.size());
+          MoveTo(cells[i], static_cast<NodeId>(rng.Below(static_cast<uint64_t>(Nodes()))));
+        }
+        return rounds;
+      }
+    };
+    std::vector<Ref<Cell>> cells;
+    for (int i = 0; i < 4; ++i) {
+      cells.push_back(NewOn<Cell>(i % Nodes()));
+    }
+    std::vector<ThreadRef<int>> hammers;
+    for (int i = 0; i < 8; ++i) {
+      auto w = NewOn<Worker>(i % Nodes());
+      hammers.push_back(StartThread(w, &Worker::Hammer, cells[static_cast<size_t>(i) % 4], 20));
+    }
+    auto shuffler = New<Shuffler>();
+    auto mover = StartThread(shuffler, &Shuffler::Shuffle, cells, 15, uint64_t{99});
+    for (auto& h : hammers) {
+      EXPECT_EQ(h.Join(), 20);
+    }
+    mover.Join();
+    rt.ValidateLocationInvariants();
+    int total = 0;
+    for (auto& c : cells) {
+      total += c.Call(&Cell::Get);
+    }
+    EXPECT_EQ(total, 8 * 20) << "updates lost while objects moved under load";
+  });
+}
+
+}  // namespace
+}  // namespace amber

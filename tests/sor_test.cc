@@ -1,0 +1,193 @@
+// Tests for the Red/Black SOR application: numerical correctness against
+// the sequential baseline (bitwise), convergence behaviour, overlap
+// equivalence, and parallel speedup shape.
+
+#include "src/apps/sor/sor.h"
+
+#include <gtest/gtest.h>
+
+namespace sor {
+namespace {
+
+using amber::Millis;
+
+// A small, fast problem for correctness tests.
+Params SmallProblem() {
+  Params p;
+  p.rows = 18;
+  p.cols = 40;
+  p.sections = 4;
+  p.max_iterations = 12;
+  p.tolerance = 0.0;
+  p.point_cost = amber::Micros(10);
+  return p;
+}
+
+sim::CostModel DefaultCost() { return sim::CostModel{}; }
+
+TEST(SorSequentialTest, ConvergesOnSmallGrid) {
+  Params p = SmallProblem();
+  p.tolerance = 1e-4;
+  p.max_iterations = 10000;
+  Result r = RunSequentialOn(p, DefaultCost(), /*keep_grid=*/true);
+  EXPECT_LT(r.final_delta, 1e-4);
+  EXPECT_GT(r.iterations, 10);
+  // Physics sanity: temperature decreases monotonically away from the hot
+  // top edge along the centre column.
+  const int c = p.cols / 2;
+  double prev = r.grid[static_cast<size_t>(c)];
+  EXPECT_EQ(prev, 100.0);
+  for (int row = 1; row < p.rows; ++row) {
+    const double v = r.grid[static_cast<size_t>(row) * p.cols + c];
+    EXPECT_LE(v, prev + 1e-12) << "row " << row;
+    prev = v;
+  }
+}
+
+TEST(SorSequentialTest, WorkScalesWithGridSize) {
+  Params small = SmallProblem();
+  Params big = SmallProblem();
+  big.rows *= 2;
+  big.cols *= 2;
+  const Result rs = RunSequentialOn(small, DefaultCost());
+  const Result rb = RunSequentialOn(big, DefaultCost());
+  // 4× the points → ~4× the time (same iteration count).
+  ASSERT_EQ(rs.iterations, rb.iterations);
+  const double ratio = static_cast<double>(rb.solve_time) / static_cast<double>(rs.solve_time);
+  EXPECT_GT(ratio, 3.5);
+  EXPECT_LT(ratio, 4.6);
+}
+
+class SorEquivalence : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(SorEquivalence, AmberMatchesSequentialBitwise) {
+  const auto [nodes, procs, overlap] = GetParam();
+  Params p = SmallProblem();
+  p.overlap = overlap;
+  const Result seq = RunSequentialOn(p, DefaultCost());
+  const Result par = RunAmberOn(nodes, procs, p, DefaultCost());
+  EXPECT_EQ(par.iterations, seq.iterations);
+  EXPECT_EQ(par.grid_hash, seq.grid_hash)
+      << "parallel grid diverged from sequential (nodes=" << nodes << " procs=" << procs
+      << " overlap=" << overlap << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SorEquivalence,
+    ::testing::Values(std::make_tuple(1, 1, true), std::make_tuple(1, 4, true),
+                      std::make_tuple(2, 2, true), std::make_tuple(4, 1, true),
+                      std::make_tuple(4, 4, true), std::make_tuple(1, 4, false),
+                      std::make_tuple(4, 2, false), std::make_tuple(4, 4, false)),
+    [](const auto& info) {
+      return std::to_string(std::get<0>(info.param)) + "N" +
+             std::to_string(std::get<1>(info.param)) + "P" +
+             (std::get<2>(info.param) ? "ov" : "seq");
+    });
+
+TEST(SorConvergenceTest, ParallelStopsAtSameIterationAsSequential) {
+  Params p = SmallProblem();
+  p.tolerance = 1e-3;
+  p.max_iterations = 5000;
+  const Result seq = RunSequentialOn(p, DefaultCost());
+  const Result par = RunAmberOn(2, 2, p, DefaultCost());
+  EXPECT_EQ(par.iterations, seq.iterations);
+  EXPECT_EQ(par.grid_hash, seq.grid_hash);
+  EXPECT_LT(par.final_delta, 1e-3);
+}
+
+TEST(SorSpeedupTest, MoreProcessorsFasterSameNode) {
+  Params p = SmallProblem();
+  p.rows = 34;
+  p.cols = 160;
+  p.max_iterations = 20;
+  const Result r1 = RunAmberOn(1, 1, p, DefaultCost());
+  const Result r4 = RunAmberOn(1, 4, p, DefaultCost());
+  EXPECT_EQ(r1.grid_hash, r4.grid_hash);
+  const double speedup = static_cast<double>(r1.solve_time) / static_cast<double>(r4.solve_time);
+  EXPECT_GT(speedup, 2.0) << "4 CPUs should be much faster than 1";
+}
+
+TEST(SorSpeedupTest, MultiNodeBeatsSingleNodeOnLargeGrid) {
+  Params p;
+  p.rows = 62;
+  p.cols = 422;  // half the paper grid
+  p.sections = 4;
+  p.max_iterations = 10;
+  const Result r1 = RunAmberOn(1, 1, p, DefaultCost());
+  const Result r4 = RunAmberOn(4, 4, p, DefaultCost());
+  EXPECT_EQ(r1.grid_hash, r4.grid_hash);
+  // A half-size grid over 10 iterations pays relatively more barrier and
+  // startup overhead than the paper's full problem (the Figure 2/3 benches
+  // measure that shape); still, 16 CPUs must clearly beat 1.
+  const double speedup = static_cast<double>(r1.solve_time) / static_cast<double>(r4.solve_time);
+  EXPECT_GT(speedup, 4.0) << "16 processors over 4 nodes should give real speedup";
+}
+
+TEST(SorOverlapTest, OverlapBeatsNoOverlapAcrossNodes) {
+  // The Figure 2 pair: same configuration, overlap on vs off. Overlap hides
+  // edge-exchange latency behind interior computation.
+  Params p;
+  p.rows = 62;
+  p.cols = 422;
+  p.sections = 4;
+  p.max_iterations = 10;
+  p.overlap = true;
+  const Result on = RunAmberOn(4, 2, p, DefaultCost());
+  p.overlap = false;
+  const Result off = RunAmberOn(4, 2, p, DefaultCost());
+  EXPECT_EQ(on.grid_hash, off.grid_hash) << "overlap must not change the numerics";
+  EXPECT_LT(on.solve_time, off.solve_time) << "overlap should hide communication";
+}
+
+TEST(SorTrafficTest, EdgeExchangeUsesOneMessagePerEdgePerPhase) {
+  Params p = SmallProblem();
+  p.sections = 4;
+  p.max_iterations = 8;
+  const Result r = RunAmberOn(4, 1, p, DefaultCost());
+  // 3 interior boundaries × 2 directions × 2 phases × 8 iterations ≈ 96
+  // edge transfers; each is one thread migration out and one back, plus
+  // convergence traffic. The point: messages scale with edges, not points.
+  EXPECT_GT(r.net_messages, 100);
+  EXPECT_LT(r.net_messages, 600);
+  EXPECT_LT(r.net_bytes, 2'000'000);
+}
+
+TEST(SorDeterminismTest, IdenticalRunsProduceIdenticalResults) {
+  Params p = SmallProblem();
+  const Result a = RunAmberOn(4, 2, p, DefaultCost());
+  const Result b = RunAmberOn(4, 2, p, DefaultCost());
+  EXPECT_EQ(a.solve_time, b.solve_time);
+  EXPECT_EQ(a.grid_hash, b.grid_hash);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+}
+
+TEST(SorConfigTest, SixSectionsOnThreeNodes) {
+  // The paper's 3-node/6-node runs used 6 sections.
+  Params p = SmallProblem();
+  p.cols = 42;
+  p.sections = 6;
+  const Result seq = RunSequentialOn(p, DefaultCost());
+  const Result par = RunAmberOn(3, 2, p, DefaultCost());
+  EXPECT_EQ(par.grid_hash, seq.grid_hash);
+}
+
+TEST(SorConfigTest, ExplicitThreadsPerSection) {
+  Params p = SmallProblem();
+  p.threads_per_section = 3;
+  const Result seq = RunSequentialOn(p, DefaultCost());
+  const Result par = RunAmberOn(2, 2, p, DefaultCost());
+  EXPECT_EQ(par.grid_hash, seq.grid_hash);
+}
+
+TEST(SorConfigTest, SingleSectionDegeneratesGracefully) {
+  Params p = SmallProblem();
+  p.sections = 1;
+  const Result seq = RunSequentialOn(p, DefaultCost());
+  const Result par = RunAmberOn(1, 2, p, DefaultCost());
+  EXPECT_EQ(par.grid_hash, seq.grid_hash);
+  EXPECT_EQ(par.net_messages, 0) << "one section on one node: no network traffic";
+}
+
+}  // namespace
+}  // namespace sor

@@ -1,0 +1,495 @@
+// Tests for Amber synchronization objects: spin locks, blocking locks,
+// monitors/conditions, and barriers — co-resident and distributed.
+
+#include "src/core/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/amber.h"
+
+namespace amber {
+namespace {
+
+Runtime::Config TestConfig(int nodes = 2, int procs = 4) {
+  Runtime::Config c;
+  c.nodes = nodes;
+  c.procs_per_node = procs;
+  c.arena_bytes = size_t{256} << 20;
+  c.initial_regions_per_node = 4;
+  return c;
+}
+
+// A shared account protected by a member lock — the §3.6 pattern: the lock
+// moves with the object and is acquired with plain (inline) calls.
+class Account : public Object {
+ public:
+  int DepositTimes(int n) {
+    for (int i = 0; i < n; ++i) {
+      lock_.Acquire();
+      const int v = balance_;
+      Work(kMicrosecond * 50);  // window for lost updates without the lock
+      balance_ = v + 1;
+      lock_.Release();
+    }
+    return balance_;
+  }
+  int SpinDepositTimes(int n) {
+    for (int i = 0; i < n; ++i) {
+      spin_.Acquire();
+      const int v = balance_;
+      Work(kMicrosecond * 5);
+      balance_ = v + 1;
+      spin_.Release();
+    }
+    return balance_;
+  }
+  int balance() const { return balance_; }
+
+ private:
+  Lock lock_;
+  SpinLock spin_;
+  int balance_ = 0;
+};
+
+TEST(LockTest, MutualExclusionUnderContention) {
+  Runtime rt(TestConfig(1, 4));
+  rt.Run([&] {
+    auto acct = New<Account>();
+    std::vector<ThreadRef<int>> ts;
+    for (int i = 0; i < 4; ++i) {
+      ts.push_back(StartThread(acct, &Account::DepositTimes, 25));
+    }
+    for (auto& t : ts) {
+      t.Join();
+    }
+    EXPECT_EQ(acct.Call(&Account::balance), 100) << "lost updates: lock failed";
+  });
+}
+
+TEST(SpinLockTest, MutualExclusionUnderContention) {
+  Runtime rt(TestConfig(1, 4));
+  rt.Run([&] {
+    auto acct = New<Account>();
+    std::vector<ThreadRef<int>> ts;
+    for (int i = 0; i < 3; ++i) {
+      ts.push_back(StartThread(acct, &Account::SpinDepositTimes, 20));
+    }
+    for (auto& t : ts) {
+      t.Join();
+    }
+    EXPECT_EQ(acct.Call(&Account::balance), 60);
+  });
+}
+
+TEST(SpinLockTest, SpinnerHoldsProcessor) {
+  // Two threads on a 2-CPU node; one holds the spin lock for 5 ms while the
+  // other spins. A third CPU-hungry thread must NOT start until a processor
+  // frees, proving the spinner kept its processor busy.
+  class Spinny : public Object {
+   public:
+    void HoldLong() {
+      spin_.Acquire();
+      Work(Millis(10));
+      spin_.Release();
+    }
+    void GrabShort() {
+      spin_.Acquire();
+      spin_.Release();
+    }
+
+   private:
+    SpinLock spin_;
+  };
+  class Bystander : public Object {
+   public:
+    Time Mark() { return Now(); }
+  };
+  Runtime rt(TestConfig(1, 2));
+  rt.Run([&] {
+    auto s = New<Spinny>();
+    auto b = New<Bystander>();
+    auto t1 = StartThread(s, &Spinny::HoldLong);
+    auto t2 = StartThread(s, &Spinny::GrabShort);
+    auto t3 = StartThread(b, &Bystander::Mark);
+    const Time marked = t3.Join();
+    t1.Join();
+    t2.Join();
+    // t3 could only run once the spinner (t2) or holder (t1) released a CPU
+    // — i.e. not before ~10 ms.
+    EXPECT_GE(marked, Millis(9));
+  });
+}
+
+TEST(LockTest, BlockedWaiterReleasesProcessor) {
+  // Contrast with the spin test: a *blocking* waiter frees its CPU, so the
+  // bystander runs immediately.
+  class Blocky : public Object {
+   public:
+    void HoldLong() {
+      lock_.Acquire();
+      Work(Millis(10));
+      lock_.Release();
+    }
+    void GrabShort() {
+      lock_.Acquire();
+      lock_.Release();
+    }
+
+   private:
+    Lock lock_;
+  };
+  class Bystander : public Object {
+   public:
+    Time Mark() { return Now(); }
+  };
+  Runtime rt(TestConfig(1, 2));
+  rt.Run([&] {
+    auto s = New<Blocky>();
+    auto b = New<Bystander>();
+    auto t1 = StartThread(s, &Blocky::HoldLong);
+    auto t2 = StartThread(s, &Blocky::GrabShort);
+    auto t3 = StartThread(b, &Bystander::Mark);
+    const Time marked = t3.Join();
+    t1.Join();
+    t2.Join();
+    EXPECT_LT(marked, Millis(5));
+  });
+}
+
+TEST(LockTest, FifoHandoffOrder) {
+  class Ordered : public Object {
+   public:
+    void Enter(int id) {
+      lock_.Acquire();
+      order_.push_back(id);
+      Work(kMicrosecond * 100);
+      lock_.Release();
+    }
+    std::vector<int> order_;
+
+   private:
+    Lock lock_;
+  };
+  Runtime rt(TestConfig(1, 1));
+  rt.Run([&] {
+    auto o = New<Ordered>();
+    std::vector<ThreadRef<void>> ts;
+    for (int i = 0; i < 5; ++i) {
+      ts.push_back(StartThread(o, &Ordered::Enter, i));
+    }
+    for (auto& t : ts) {
+      t.Join();
+    }
+    EXPECT_EQ(o.unchecked()->order_, (std::vector<int>{0, 1, 2, 3, 4}));
+  });
+}
+
+TEST(LockTest, NonHolderReleasePanics) {
+  Runtime rt(TestConfig(1, 1));
+  EXPECT_DEATH(rt.Run([&] {
+    class Bad : public Object {
+     public:
+      void Naughty() { lock_.Release(); }
+      Lock lock_;
+    };
+    auto b = New<Bad>();
+    b.Call(&Bad::Naughty);
+  }),
+               "non-holder");
+}
+
+// A distributed lock: the lock object lives on node 1; threads on other
+// nodes acquire it by remote invocation (§4.1 function-shipping sync).
+TEST(LockTest, RemoteLockSynchronizesAcrossNodes) {
+  class Locker : public Object {
+   public:
+    void Acquire() { lock_.Acquire(); }
+    void Release() { lock_.Release(); }
+
+   private:
+    Lock lock_;
+  };
+  class NodeWorker : public Object {
+   public:
+    int Run(Ref<Locker> l, int n) {
+      for (int i = 0; i < n; ++i) {
+        l.Call(&Locker::Acquire);  // migrates to the lock's node...
+        Work(kMicrosecond * 100);  // ...critical section back home? No:
+        l.Call(&Locker::Release);  // §4.1: sync constraint enforced remotely
+      }
+      return n;
+    }
+  };
+  Runtime rt(TestConfig(4, 2));
+  rt.Run([&] {
+    auto lock = New<Locker>();
+    MoveTo(lock, 1);
+    std::vector<ThreadRef<int>> ts;
+    std::vector<Ref<NodeWorker>> ws;
+    for (NodeId n = 0; n < 4; ++n) {
+      ws.push_back(NewOn<NodeWorker>(n));
+    }
+    for (auto& w : ws) {
+      ts.push_back(StartThread(w, &NodeWorker::Run, lock, 3));
+    }
+    for (auto& t : ts) {
+      EXPECT_EQ(t.Join(), 3);
+    }
+    rt.ValidateLocationInvariants();
+  });
+}
+
+TEST(ConditionTest, ProducerConsumer) {
+  class Queue : public Object {
+   public:
+    void Put(int v) {
+      MonitorGuard g(lock_);
+      buf_.push_back(v);
+      nonempty_.Signal();
+    }
+    int Take() {
+      lock_.Acquire();
+      while (buf_.empty()) {
+        nonempty_.Wait(lock_);
+      }
+      const int v = buf_.front();
+      buf_.erase(buf_.begin());
+      lock_.Release();
+      return v;
+    }
+
+   private:
+    Lock lock_;
+    Condition nonempty_;
+    std::vector<int> buf_;
+  };
+  class Producer : public Object {
+   public:
+    void Produce(Ref<Queue> q, int n) {
+      for (int i = 0; i < n; ++i) {
+        Work(kMicrosecond * 200);
+        q.Call(&Queue::Put, i);
+      }
+    }
+  };
+  Runtime rt(TestConfig(1, 2));
+  rt.Run([&] {
+    auto q = New<Queue>();
+    auto p = New<Producer>();
+    auto t = StartThread(p, &Producer::Produce, q, 5);
+    std::vector<int> got;
+    for (int i = 0; i < 5; ++i) {
+      got.push_back(q.Call(&Queue::Take));
+    }
+    t.Join();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  });
+}
+
+TEST(ConditionTest, BroadcastWakesAll) {
+  class Gate : public Object {
+   public:
+    void WaitOpen() {
+      lock_.Acquire();
+      while (!open_) {
+        cond_.Wait(lock_);
+      }
+      ++through_;
+      lock_.Release();
+    }
+    void Open() {
+      MonitorGuard g(lock_);
+      open_ = true;
+      cond_.Broadcast();
+    }
+    int through() const { return through_; }
+
+   private:
+    Lock lock_;
+    Condition cond_;
+    bool open_ = false;
+    int through_ = 0;
+  };
+  Runtime rt(TestConfig(1, 4));
+  rt.Run([&] {
+    auto g = New<Gate>();
+    std::vector<ThreadRef<void>> ts;
+    for (int i = 0; i < 6; ++i) {
+      ts.push_back(StartThread(g, &Gate::WaitOpen));
+    }
+    Work(Millis(2));  // let them all block
+    g.Call(&Gate::Open);
+    for (auto& t : ts) {
+      t.Join();
+    }
+    EXPECT_EQ(g.Call(&Gate::through), 6);
+  });
+}
+
+// The Monitor base class: operations wrap themselves in MonitorGuard on the
+// inherited member lock, which stays co-resident with the object (§3.6).
+TEST(MonitorTest, MonitoredObjectSerializesOperations) {
+  class Stats : public Monitor {
+   public:
+    void Record(int v) {
+      MonitorGuard g(monitor_lock());
+      const int old_n = n_;
+      const int old_sum = sum_;
+      Work(kMicrosecond * 80);  // lost-update window without the monitor
+      n_ = old_n + 1;
+      sum_ = old_sum + v;
+    }
+    double Mean() {
+      MonitorGuard g(monitor_lock());
+      return n_ > 0 ? static_cast<double>(sum_) / n_ : 0.0;
+    }
+
+   private:
+    int n_ = 0;
+    int sum_ = 0;
+  };
+  Runtime rt(TestConfig(2, 4));
+  rt.Run([&] {
+    auto stats = New<Stats>();
+    MoveTo(stats, 1);
+    std::vector<ThreadRef<void>> ts;
+    for (int i = 0; i < 10; ++i) {
+      ts.push_back(StartThread(stats, &Stats::Record, 6));
+    }
+    for (auto& t : ts) {
+      t.Join();
+    }
+    EXPECT_DOUBLE_EQ(stats.Call(&Stats::Mean), 6.0);
+    rt.ValidateLocationInvariants();
+  });
+}
+
+TEST(BarrierTest, AllPartiesRendezvous) {
+  class Phased : public Object {
+   public:
+    explicit Phased(int parties) : barrier_(parties) {}
+    std::vector<int64_t> RunPhases(int phases) {
+      std::vector<int64_t> seen;
+      for (int p = 0; p < phases; ++p) {
+        Work(kMicrosecond * 100);
+        seen.push_back(barrier_.Wait());
+      }
+      return seen;
+    }
+
+   private:
+    Barrier barrier_;
+  };
+  Runtime rt(TestConfig(1, 4));
+  rt.Run([&] {
+    auto obj = New<Phased>(4);
+    std::vector<ThreadRef<std::vector<int64_t>>> ts;
+    for (int i = 0; i < 4; ++i) {
+      ts.push_back(StartThread(obj, &Phased::RunPhases, 3));
+    }
+    for (auto& t : ts) {
+      EXPECT_EQ(t.Join(), (std::vector<int64_t>{0, 1, 2}));
+    }
+  });
+}
+
+TEST(BarrierTest, CrossNodeBarrier) {
+  // Threads on 4 different nodes meet at a barrier object on node 0: each
+  // Wait migrates the caller to the barrier and back (§2.2: mobile,
+  // remotely invocable synchronization objects).
+  class BarrierBox : public Object {
+   public:
+    explicit BarrierBox(int parties) : barrier_(parties) {}
+    int64_t Meet() { return barrier_.Wait(); }
+
+   private:
+    Barrier barrier_;
+  };
+  class NodeWorker : public Object {
+   public:
+    NodeId RunRounds(Ref<BarrierBox> b, int rounds) {
+      for (int i = 0; i < rounds; ++i) {
+        Work(Millis(1));
+        b.Call(&BarrierBox::Meet);
+        EXPECT_EQ(Here(), start_) << "must return to my node after the barrier";
+      }
+      return Here();
+    }
+    void Init() { start_ = Here(); }
+
+   private:
+    NodeId start_ = kNoNode;
+  };
+  Runtime rt(TestConfig(4, 2));
+  rt.Run([&] {
+    auto b = New<BarrierBox>(4);
+    std::vector<ThreadRef<NodeId>> ts;
+    for (NodeId n = 0; n < 4; ++n) {
+      auto w = NewOn<NodeWorker>(n);
+      w.Call(&NodeWorker::Init);
+      ts.push_back(StartThread(w, &NodeWorker::RunRounds, b, 3));
+    }
+    for (NodeId n = 0; n < 4; ++n) {
+      EXPECT_EQ(ts[static_cast<size_t>(n)].Join(), n);
+    }
+  });
+}
+
+TEST(BarrierTest, SinglePartyNeverBlocks) {
+  Runtime rt(TestConfig(1, 1));
+  rt.Run([&] {
+    class Solo : public Object {
+     public:
+      Solo() : b_(1) {}
+      int64_t Go() {
+        b_.Wait();
+        b_.Wait();
+        return b_.Wait();
+      }
+
+     private:
+      Barrier b_;
+    };
+    auto s = New<Solo>();
+    EXPECT_EQ(s.Call(&Solo::Go), 2);
+  });
+}
+
+TEST(MovableLockTest, LockMovesWhileWaitersBlocked) {
+  // Move a lock object while threads are blocked on it; when released and
+  // rescheduled, waiters chase it to the new node and still get FIFO order.
+  class LockBox : public Object {
+   public:
+    void HoldFor(Duration d) {
+      lock_.Acquire();
+      Work(d);
+      lock_.Release();
+    }
+    NodeId AcquireAndReport() {
+      lock_.Acquire();
+      const NodeId n = Here();
+      lock_.Release();
+      return n;
+    }
+
+   private:
+    Lock lock_;
+  };
+  Runtime rt(TestConfig(3, 2));
+  rt.Run([&] {
+    auto box = New<LockBox>();
+    auto holder = StartThread(box, &LockBox::HoldFor, Duration{Millis(20)});
+    Work(Millis(2));
+    auto waiter = StartThread(box, &LockBox::AcquireAndReport);
+    Work(Millis(2));
+    MoveTo(box, 2);  // move the lock (and bound holder, lazily) mid-hold
+    holder.Join();
+    EXPECT_EQ(waiter.Join(), 2) << "waiter must acquire at the lock's new node";
+    rt.ValidateLocationInvariants();
+  });
+}
+
+}  // namespace
+}  // namespace amber

@@ -1,0 +1,124 @@
+// Tests for the distributed branch-and-bound TSP application.
+
+#include "src/apps/tsp/tsp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsp {
+namespace {
+
+sim::CostModel DefaultCost() { return sim::CostModel{}; }
+
+Params SmallProblem() {
+  Params p;
+  p.cities = 9;
+  p.seed = 3;
+  p.prefix_depth = 3;
+  p.workers_per_node = 2;
+  return p;
+}
+
+TEST(TspSequentialTest, FindsAValidTour) {
+  const Result r = RunSequentialOn(SmallProblem(), DefaultCost());
+  ASSERT_EQ(r.best_tour.size(), 9u);
+  // A permutation of all cities starting at 0.
+  std::vector<bool> seen(9, false);
+  for (int c : r.best_tour) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 9);
+    EXPECT_FALSE(seen[static_cast<size_t>(c)]) << "city visited twice";
+    seen[static_cast<size_t>(c)] = true;
+  }
+  EXPECT_EQ(r.best_tour[0], 0);
+  // The reported cost matches the tour's actual cost.
+  const auto d = MakeDistances(9, 3);
+  double cost = 0;
+  for (size_t i = 0; i < 9; ++i) {
+    cost += d[static_cast<size_t>(r.best_tour[i]) * 9 +
+              static_cast<size_t>(r.best_tour[(i + 1) % 9])];
+  }
+  EXPECT_NEAR(cost, r.best_cost, 1e-9);
+}
+
+TEST(TspSequentialTest, PruningBeatsFactorialGrowth) {
+  const Result r = RunSequentialOn(SmallProblem(), DefaultCost());
+  // 8! = 40320 leaf orderings; B&B must expand far fewer nodes than the
+  // full permutation tree (~109600 nodes for n=9).
+  EXPECT_LT(r.expansions, 40000);
+  EXPECT_GT(r.expansions, 9);
+}
+
+class TspParallel : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TspParallel, FindsTheOptimalCost) {
+  const auto [nodes, procs] = GetParam();
+  const Params p = SmallProblem();
+  const Result seq = RunSequentialOn(p, DefaultCost());
+  const Result par = RunAmberOn(nodes, procs, p, DefaultCost());
+  EXPECT_NEAR(par.best_cost, seq.best_cost, 1e-9)
+      << "parallel search missed the optimum (" << nodes << "N x " << procs << "P)";
+  ASSERT_EQ(par.best_tour.size(), static_cast<size_t>(p.cities));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, TspParallel,
+                         ::testing::Values(std::make_tuple(1, 2), std::make_tuple(2, 2),
+                                           std::make_tuple(4, 1), std::make_tuple(4, 4)),
+                         [](const auto& info) {
+                           return std::to_string(std::get<0>(info.param)) + "N" +
+                                  std::to_string(std::get<1>(info.param)) + "P";
+                         });
+
+TEST(TspParallelTest, SpeedsUpOnIrregularWork) {
+  Params p = SmallProblem();
+  p.cities = 10;
+  const Result seq = RunSequentialOn(p, DefaultCost());
+  const Result par = RunAmberOn(4, 2, p, DefaultCost());
+  EXPECT_NEAR(par.best_cost, seq.best_cost, 1e-9);
+  const double speedup =
+      static_cast<double>(seq.solve_time) / static_cast<double>(par.solve_time);
+  // Irregular subtrees + pool/bound communication: expect real but
+  // sublinear speedup on 8 CPUs.
+  EXPECT_GT(speedup, 2.0);
+}
+
+TEST(TspParallelTest, DeterministicRuns) {
+  const Params p = SmallProblem();
+  const Result a = RunAmberOn(2, 2, p, DefaultCost());
+  const Result b = RunAmberOn(2, 2, p, DefaultCost());
+  EXPECT_EQ(a.solve_time, b.solve_time);
+  EXPECT_EQ(a.expansions, b.expansions);
+  EXPECT_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+}
+
+TEST(TspParallelTest, StaleBoundsExpandMoreNodes) {
+  // Refreshing the global bound rarely means weaker pruning: the total
+  // expansion count should grow as the refresh interval grows.
+  Params often = SmallProblem();
+  often.cities = 10;
+  often.bound_refresh = 16;
+  Params rarely = often;
+  rarely.bound_refresh = 1 << 20;  // effectively never refresh
+  const Result r_often = RunAmberOn(4, 2, often, DefaultCost());
+  const Result r_rarely = RunAmberOn(4, 2, rarely, DefaultCost());
+  EXPECT_NEAR(r_often.best_cost, r_rarely.best_cost, 1e-9);  // both optimal
+  EXPECT_LE(r_often.expansions, r_rarely.expansions);
+}
+
+TEST(TspDistancesTest, SymmetricMetricAndDeterministic) {
+  const auto a = MakeDistances(8, 42);
+  const auto b = MakeDistances(8, 42);
+  EXPECT_EQ(a, b);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a[static_cast<size_t>(i) * 8 + i], 0.0);
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(a[static_cast<size_t>(i) * 8 + j], a[static_cast<size_t>(j) * 8 + i]);
+      EXPECT_GE(a[static_cast<size_t>(i) * 8 + j], 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsp
