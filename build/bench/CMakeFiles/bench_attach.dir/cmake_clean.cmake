@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attach.dir/bench_attach.cc.o"
+  "CMakeFiles/bench_attach.dir/bench_attach.cc.o.d"
+  "bench_attach"
+  "bench_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

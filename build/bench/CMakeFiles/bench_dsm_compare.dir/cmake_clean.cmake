@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsm_compare.dir/bench_dsm_compare.cc.o"
+  "CMakeFiles/bench_dsm_compare.dir/bench_dsm_compare.cc.o.d"
+  "bench_dsm_compare"
+  "bench_dsm_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsm_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_thrash.dir/bench_lock_thrash.cc.o"
+  "CMakeFiles/bench_lock_thrash.dir/bench_lock_thrash.cc.o.d"
+  "bench_lock_thrash"
+  "bench_lock_thrash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_thrash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

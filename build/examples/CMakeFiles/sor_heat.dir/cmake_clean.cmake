@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sor_heat.dir/sor_heat.cpp.o"
+  "CMakeFiles/sor_heat.dir/sor_heat.cpp.o.d"
+  "sor_heat"
+  "sor_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sor_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

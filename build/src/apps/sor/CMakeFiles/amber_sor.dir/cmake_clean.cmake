@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_sor.dir/sor.cc.o"
+  "CMakeFiles/amber_sor.dir/sor.cc.o.d"
+  "libamber_sor.a"
+  "libamber_sor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_psort.dir/psort.cc.o"
+  "CMakeFiles/amber_psort.dir/psort.cc.o.d"
+  "libamber_psort.a"
+  "libamber_psort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_psort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_tsp.dir/tsp.cc.o"
+  "CMakeFiles/amber_tsp.dir/tsp.cc.o.d"
+  "libamber_tsp.a"
+  "libamber_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_base.dir/logging.cc.o"
+  "CMakeFiles/amber_base.dir/logging.cc.o.d"
+  "CMakeFiles/amber_base.dir/panic.cc.o"
+  "CMakeFiles/amber_base.dir/panic.cc.o.d"
+  "libamber_base.a"
+  "libamber_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

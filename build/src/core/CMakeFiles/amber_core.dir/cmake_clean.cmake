@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_core.dir/cluster_report.cc.o"
+  "CMakeFiles/amber_core.dir/cluster_report.cc.o.d"
+  "CMakeFiles/amber_core.dir/object.cc.o"
+  "CMakeFiles/amber_core.dir/object.cc.o.d"
+  "CMakeFiles/amber_core.dir/runtime.cc.o"
+  "CMakeFiles/amber_core.dir/runtime.cc.o.d"
+  "CMakeFiles/amber_core.dir/sync.cc.o"
+  "CMakeFiles/amber_core.dir/sync.cc.o.d"
+  "libamber_core.a"
+  "libamber_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

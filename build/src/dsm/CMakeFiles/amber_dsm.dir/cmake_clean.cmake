@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_dsm.dir/dsm.cc.o"
+  "CMakeFiles/amber_dsm.dir/dsm.cc.o.d"
+  "CMakeFiles/amber_dsm.dir/sor_dsm.cc.o"
+  "CMakeFiles/amber_dsm.dir/sor_dsm.cc.o.d"
+  "libamber_dsm.a"
+  "libamber_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

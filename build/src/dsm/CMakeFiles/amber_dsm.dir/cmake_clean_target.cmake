@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamber_dsm.a"
+)

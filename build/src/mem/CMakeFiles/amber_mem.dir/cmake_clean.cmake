@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_mem.dir/address_space.cc.o"
+  "CMakeFiles/amber_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/amber_mem.dir/region_server.cc.o"
+  "CMakeFiles/amber_mem.dir/region_server.cc.o.d"
+  "CMakeFiles/amber_mem.dir/segment_alloc.cc.o"
+  "CMakeFiles/amber_mem.dir/segment_alloc.cc.o.d"
+  "libamber_mem.a"
+  "libamber_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

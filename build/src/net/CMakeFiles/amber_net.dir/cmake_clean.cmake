@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_net.dir/network.cc.o"
+  "CMakeFiles/amber_net.dir/network.cc.o.d"
+  "libamber_net.a"
+  "libamber_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

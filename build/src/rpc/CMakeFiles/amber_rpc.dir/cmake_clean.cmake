@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_rpc.dir/transport.cc.o"
+  "CMakeFiles/amber_rpc.dir/transport.cc.o.d"
+  "libamber_rpc.a"
+  "libamber_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

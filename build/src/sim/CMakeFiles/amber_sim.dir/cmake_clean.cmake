@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_sim.dir/context.cc.o"
+  "CMakeFiles/amber_sim.dir/context.cc.o.d"
+  "CMakeFiles/amber_sim.dir/context_x86_64.S.o"
+  "CMakeFiles/amber_sim.dir/kernel.cc.o"
+  "CMakeFiles/amber_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/amber_sim.dir/stack_pool.cc.o"
+  "CMakeFiles/amber_sim.dir/stack_pool.cc.o.d"
+  "libamber_sim.a"
+  "libamber_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/amber_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_trace.dir/trace.cc.o"
+  "CMakeFiles/amber_trace.dir/trace.cc.o.d"
+  "libamber_trace.a"
+  "libamber_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

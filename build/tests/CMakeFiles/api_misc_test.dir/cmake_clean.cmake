@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_misc_test.dir/api_misc_test.cc.o"
+  "CMakeFiles/api_misc_test.dir/api_misc_test.cc.o.d"
+  "api_misc_test"
+  "api_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_stress_test.dir/kernel_stress_test.cc.o"
+  "CMakeFiles/kernel_stress_test.dir/kernel_stress_test.cc.o.d"
+  "kernel_stress_test"
+  "kernel_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_fuzz_test.dir/mobility_fuzz_test.cc.o"
+  "CMakeFiles/mobility_fuzz_test.dir/mobility_fuzz_test.cc.o.d"
+  "mobility_fuzz_test"
+  "mobility_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/psort_test.cc" "tests/CMakeFiles/psort_test.dir/psort_test.cc.o" "gcc" "tests/CMakeFiles/psort_test.dir/psort_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/sort/CMakeFiles/amber_psort.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/amber_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/amber_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/amber_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amber_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/amber_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/amber_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psort_test.dir/psort_test.cc.o"
+  "CMakeFiles/psort_test.dir/psort_test.cc.o.d"
+  "psort_test"
+  "psort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_extra_test.dir/rpc_extra_test.cc.o"
+  "CMakeFiles/rpc_extra_test.dir/rpc_extra_test.cc.o.d"
+  "rpc_extra_test"
+  "rpc_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

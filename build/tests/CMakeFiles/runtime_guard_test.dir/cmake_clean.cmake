@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_guard_test.dir/runtime_guard_test.cc.o"
+  "CMakeFiles/runtime_guard_test.dir/runtime_guard_test.cc.o.d"
+  "runtime_guard_test"
+  "runtime_guard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

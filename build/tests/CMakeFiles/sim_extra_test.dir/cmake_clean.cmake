@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_extra_test.dir/sim_extra_test.cc.o"
+  "CMakeFiles/sim_extra_test.dir/sim_extra_test.cc.o.d"
+  "sim_extra_test"
+  "sim_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

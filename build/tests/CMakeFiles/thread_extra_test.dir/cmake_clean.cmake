@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_extra_test.dir/thread_extra_test.cc.o"
+  "CMakeFiles/thread_extra_test.dir/thread_extra_test.cc.o.d"
+  "thread_extra_test"
+  "thread_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

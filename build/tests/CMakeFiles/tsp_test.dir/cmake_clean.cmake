@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_test.dir/tsp_test.cc.o"
+  "CMakeFiles/tsp_test.dir/tsp_test.cc.o.d"
+  "tsp_test"
+  "tsp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
