@@ -13,10 +13,12 @@
 //     remote communication costs are effectively hidden.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "src/apps/sor/sor.h"
+#include "src/trace/trace.h"
 
 namespace {
 
@@ -75,5 +77,40 @@ int main() {
   std::printf(
       "\nPaper reference points: 8Nx4P (overlap) speedup ~25; 1Nx4P/2Nx2P/4Nx1P nearly equal;\n"
       "2Nx4P/4Nx2P nearly equal; overlap-off 8Nx4P distinctly below overlap-on.\n");
+
+  // Re-run the headline configuration (8Nx4P, overlap) fully instrumented:
+  // per-node metrics to BENCH_fig2.json, execution trace to
+  // BENCH_fig2_trace.json (load in https://ui.perfetto.dev).
+  {
+    amber::Runtime::Config config;
+    config.nodes = 8;
+    config.procs_per_node = 4;
+    config.cost = cost;
+    config.arena_bytes = size_t{1} << 30;
+    amber::Runtime rt(config);
+    metrics::Registry registry;
+    trace::Tracer tracer;
+    rt.SetMetrics(&registry);
+    rt.SetObserver(&tracer);
+    const sor::Result r = sor::RunAmber(rt, params);
+    const double speedup =
+        static_cast<double>(seq.solve_time) / static_cast<double>(r.solve_time);
+    registry.GetGauge("sor.speedup").Set(speedup);
+    registry.GetCounter("sor.iterations").Add(r.iterations);
+
+    benchutil::BenchJson json("fig2");
+    json.Config("nodes", int64_t{8});
+    json.Config("procs_per_node", int64_t{4});
+    json.Config("grid_rows", int64_t{params.rows});
+    json.Config("grid_cols", int64_t{params.cols});
+    json.Config("sections", int64_t{params.sections});
+    json.Config("iterations", int64_t{params.max_iterations});
+    json.Config("overlap", true);
+    const std::string path = json.Write(r.solve_time, &registry);
+    std::ofstream trace_out("BENCH_fig2_trace.json");
+    tracer.WriteChromeTrace(trace_out);
+    std::printf("\nwrote %s and BENCH_fig2_trace.json (%zu events)\n", path.c_str(),
+                tracer.size());
+  }
   return 0;
 }

@@ -64,7 +64,10 @@ Outcome RunAmberLock() {
   config.nodes = kNodes;
   config.procs_per_node = 2;
   Runtime rt(config);
+  metrics::Registry registry;
+  rt.SetMetrics(&registry);  // lock wait/hold times land in sync.* histograms
   Outcome out{};
+  Time virtual_time = 0;
   rt.Run([&] {
     auto prot = New<Protected>();
     MoveTo(prot, 1);
@@ -83,12 +86,19 @@ Outcome RunAmberLock() {
     }
     out.total_ms = ToMillis(Now() - t0);
     out.transfers = rt.thread_migrations() - migr0;
+    virtual_time = Now() - t0;
     if (prot.Call(&Protected::value) != kNodes * kRoundsPerNode) {
       std::printf("ERROR: amber lock lost updates\n");
     }
   });
   out.messages = rt.network().messages();
   out.kb = rt.network().bytes_sent() / 1024;
+
+  benchutil::BenchJson json("lock_thrash");
+  json.Config("nodes", int64_t{kNodes});
+  json.Config("procs_per_node", int64_t{2});
+  json.Config("rounds_per_node", int64_t{kRoundsPerNode});
+  json.Write(virtual_time, &registry);
   return out;
 }
 

@@ -1,12 +1,17 @@
-// Shared helpers for the benchmark harnesses: aligned table printing and
-// paper-vs-measured reporting.
+// Shared helpers for the benchmark harnesses: aligned table printing,
+// paper-vs-measured reporting, and machine-readable result dumps.
 
 #ifndef AMBER_BENCH_BENCH_UTIL_H_
 #define AMBER_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/base/time.h"
+#include "src/metrics/metrics.h"
 
 namespace benchutil {
 
@@ -60,6 +65,63 @@ inline std::string Fmt(const char* fmt, double v) {
 }
 
 inline std::string FmtI(int64_t v) { return std::to_string(v); }
+
+// Machine-readable benchmark results. Collects configuration key/value
+// pairs, then writes BENCH_<name>.json embedding the virtual run time and
+// (optionally) a full metrics::Registry dump:
+//
+//   {"bench": "<name>",
+//    "config": {...},                // insertion order
+//    "virtual_time_ns": <t>,
+//    "metrics": {...}}               // Registry::WriteJson document
+//
+// Values come from virtual time and deterministic event order, so two
+// identical runs produce byte-identical files.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, "\"" + value + "\"");
+  }
+  void Config(const std::string& key, int64_t value) {
+    config_.emplace_back(key, std::to_string(value));
+  }
+  void Config(const std::string& key, double value) {
+    config_.emplace_back(key, Fmt("%.6g", value));
+  }
+  void Config(const std::string& key, bool value) {
+    config_.emplace_back(key, value ? "true" : "false");
+  }
+
+  // Writes BENCH_<name>.json in the current directory; returns the filename
+  // (empty on failure). Pass nullptr to omit the metrics section.
+  std::string Write(amber::Time virtual_time, const metrics::Registry* registry) const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return "";
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"config\": {";
+    for (size_t i = 0; i < config_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    \"" << config_[i].first
+          << "\": " << config_[i].second;
+    }
+    out << (config_.empty() ? "" : "\n  ") << "},\n";
+    out << "  \"virtual_time_ns\": " << virtual_time;
+    if (registry != nullptr) {
+      out << ",\n  \"metrics\": ";
+      registry->WriteJson(out);
+    }
+    out << "\n}\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+};
 
 }  // namespace benchutil
 

@@ -5,14 +5,17 @@
 // uses threads + Join, and exercises the mobility primitives MoveTo /
 // Locate / Attach / MakeImmutable.
 //
-// Build & run:  ./build/examples/quickstart [trace.json]
-// With an argument, writes a chrome://tracing / perfetto trace of every
-// migration, move, replica install and message.
+// Build & run:  ./build/examples/quickstart [trace.json [metrics.json]]
+// With an argument, writes a chrome://tracing / perfetto trace of the full
+// event bus (scheduling, invocations, migrations, moves, messages, lock
+// contention) plus a metrics-registry JSON dump (docs/OBSERVABILITY.md).
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "src/core/amber.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace {
@@ -107,8 +110,10 @@ int main(int argc, char** argv) {
   config.procs_per_node = 4;
   Runtime rt(config);
   trace::Tracer tracer;
+  metrics::Registry registry;
   if (argc > 1) {
     rt.SetObserver(&tracer);
+    rt.SetMetrics(&registry);
   }
   rt.Run(Main);
   std::printf("network: %lld messages, %lld bytes\n",
@@ -117,8 +122,17 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     std::ofstream out(argv[1]);
     tracer.WriteChromeTrace(out);
-    std::printf("trace: %zu events written to %s (open in chrome://tracing)\n",
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("trace: %zu events written to %s (open in https://ui.perfetto.dev)\n",
                 tracer.size(), argv[1]);
+    const std::string metrics_path =
+        argc > 2 ? argv[2] : std::string(argv[1]) + ".metrics.json";
+    std::ofstream mout(metrics_path);
+    registry.WriteJson(mout);
+    std::printf("metrics: registry written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

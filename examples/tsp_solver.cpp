@@ -5,13 +5,21 @@
 // every node, an immutable (replicated) distance matrix, and a shared
 // incumbent-bound monitor.
 //
-// Usage: tsp_solver [nodes procs cities seed]
+// Usage: tsp_solver [nodes procs cities seed [trace.json [metrics.json]]]
+// With a trace argument, the parallel run is fully instrumented: Chrome
+// trace to trace.json, metrics-registry dump to metrics.json (default
+// trace.json.metrics.json), plus a cluster report with the registry's
+// lock-contention section (docs/OBSERVABILITY.md).
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "src/apps/tsp/tsp.h"
 #include "src/core/cluster_report.h"
+#include "src/metrics/metrics.h"
+#include "src/trace/trace.h"
 
 int main(int argc, char** argv) {
   int nodes = 4;
@@ -34,7 +42,21 @@ int main(int argc, char** argv) {
               params.cities, static_cast<unsigned long long>(params.seed), nodes, procs);
 
   const tsp::Result seq = tsp::RunSequentialOn(params, cost);
-  const tsp::Result par = tsp::RunAmberOn(nodes, procs, params, cost);
+
+  amber::Runtime::Config config;
+  config.nodes = nodes;
+  config.procs_per_node = procs;
+  config.cost = cost;
+  config.arena_bytes = size_t{256} << 20;
+  amber::Runtime rt(config);
+  trace::Tracer tracer;
+  metrics::Registry registry;
+  const bool instrument = argc >= 6;
+  if (instrument) {
+    rt.SetObserver(&tracer);
+    rt.SetMetrics(&registry);
+  }
+  const tsp::Result par = tsp::RunAmber(rt, params);
 
   std::printf("optimal tour cost: %.2f (sequential) / %.2f (parallel)%s\n", seq.best_cost,
               par.best_cost, seq.best_cost == par.best_cost ? "  [match]" : "  [MISMATCH!]");
@@ -54,5 +76,21 @@ int main(int argc, char** argv) {
               nodes * procs);
   std::printf("network: %lld messages, %.1f KB\n", static_cast<long long>(par.net_messages),
               static_cast<double>(par.net_bytes) / 1024.0);
+  if (instrument) {
+    std::printf("\n%s", amber::ClusterReport(rt, par.solve_time).c_str());
+    std::ofstream tout(argv[5]);
+    tracer.WriteChromeTrace(tout);
+    if (!tout) {
+      std::fprintf(stderr, "cannot write %s\n", argv[5]);
+      return 1;
+    }
+    std::printf("trace: %zu events written to %s (open in https://ui.perfetto.dev)\n",
+                tracer.size(), argv[5]);
+    const std::string metrics_path =
+        argc >= 7 ? argv[6] : std::string(argv[5]) + ".metrics.json";
+    std::ofstream mout(metrics_path);
+    registry.WriteJson(mout);
+    std::printf("metrics: registry written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -3,11 +3,31 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/metrics/metrics.h"
+
 namespace amber {
+namespace {
+
+// Migration count for one matrix cell. With a metrics registry attached the
+// cell comes from the registry's "amber.migration.matrix" family (published
+// at the end of Run); otherwise from the runtime's live counters.
+int64_t MatrixCell(Runtime& rt, const metrics::Registry::CounterFamily* matrix, NodeId s,
+                   NodeId d) {
+  if (matrix != nullptr) {
+    auto it = matrix->find(metrics::Registry::LinkLabel(s, d));
+    return it != matrix->end() ? it->second.value() : 0;
+  }
+  return rt.MigrationCount(s, d);
+}
+
+}  // namespace
 
 std::string ClusterReport(Runtime& rt, Time elapsed) {
   std::ostringstream out;
   char buf[160];
+  const metrics::Registry* reg = rt.metrics();
+  const metrics::Registry::CounterFamily* matrix =
+      reg != nullptr ? reg->FindCounters("amber.migration.matrix") : nullptr;
   std::snprintf(buf, sizeof(buf), "cluster report (%d nodes x %d CPUs, %.2f ms virtual)\n",
                 rt.nodes(), rt.procs_per_node(), ToMillis(elapsed));
   out << buf;
@@ -18,7 +38,7 @@ std::string ClusterReport(Runtime& rt, Time elapsed) {
   for (NodeId n = 0; n < rt.nodes(); ++n) {
     int64_t out_migrations = 0;
     for (NodeId d = 0; d < rt.nodes(); ++d) {
-      out_migrations += rt.MigrationCount(n, d);
+      out_migrations += MatrixCell(rt, matrix, n, d);
     }
     const double util =
         capacity > 0 ? 100.0 * static_cast<double>(rt.sim().NodeBusyTime(n)) / capacity : 0.0;
@@ -39,10 +59,48 @@ std::string ClusterReport(Runtime& rt, Time elapsed) {
       std::snprintf(buf, sizeof(buf), "  %4d", s);
       out << buf;
       for (NodeId d = 0; d < rt.nodes(); ++d) {
-        std::snprintf(buf, sizeof(buf), "%6lld", static_cast<long long>(rt.MigrationCount(s, d)));
+        std::snprintf(buf, sizeof(buf), "%6lld",
+                      static_cast<long long>(MatrixCell(rt, matrix, s, d)));
         out << buf;
       }
       out << "\n";
+    }
+  }
+
+  // Lock contention, when a metrics registry is attached (SetMetrics).
+  if (reg != nullptr && reg->CounterTotal("sync.lock.blocked") > 0) {
+    std::snprintf(buf, sizeof(buf), "  lock contention: %lld contended acquires\n",
+                  static_cast<long long>(reg->CounterTotal("sync.lock.blocked")));
+    out << buf;
+    if (const auto* blocked = reg->FindCounters("sync.lock.blocked")) {
+      out << "    blocked per lock:";
+      for (const auto& [label, counter] : *blocked) {
+        std::snprintf(buf, sizeof(buf), " %s=%lld", label.c_str(),
+                      static_cast<long long>(counter.value()));
+        out << buf;
+      }
+      out << "\n";
+    }
+    if (const auto* waits = reg->FindHistograms("sync.lock.wait")) {
+      for (const auto& [label, h] : *waits) {
+        if (h.count() == 0) {
+          continue;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "    wait at %s: %lld waits, mean %.1f us, p99 %.1f us\n", label.c_str(),
+                      static_cast<long long>(h.count()), h.mean() / 1000.0,
+                      h.Percentile(99) / 1000.0);
+        out << buf;
+      }
+    }
+    if (const auto* holds = reg->FindHistograms("sync.lock.hold")) {
+      if (auto it = holds->find("total"); it != holds->end() && it->second.count() > 0) {
+        const auto& h = it->second;
+        std::snprintf(buf, sizeof(buf), "    hold: %lld holds, mean %.1f us, p99 %.1f us\n",
+                      static_cast<long long>(h.count()), h.mean() / 1000.0,
+                      h.Percentile(99) / 1000.0);
+        out << buf;
+      }
     }
   }
 

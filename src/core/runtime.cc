@@ -1,7 +1,11 @@
 #include "src/core/runtime.h"
 
+#include <cxxabi.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <typeinfo>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,12 +13,27 @@
 #include "src/base/panic.h"
 #include "src/core/object.h"
 #include "src/core/thread.h"
+#include "src/metrics/metrics.h"
 #include "src/rpc/wire.h"
 
 namespace amber {
 namespace {
 
 Runtime* g_runtime = nullptr;
+
+// Human-readable dynamic type of an object (invocation span labels).
+// Demangling is deterministic: same binary, same names.
+std::string ObjectLabel(const Object* obj) {
+  if (obj == nullptr) {
+    return "stack-local";
+  }
+  const char* raw = typeid(*obj).name();
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(raw, nullptr, nullptr, &status);
+  std::string out = (status == 0 && demangled != nullptr) ? demangled : raw;
+  std::free(demangled);
+  return out;
+}
 
 // Wire size of the thread control state that travels with a migrating
 // thread, excluding the stack (registers, scheduling state, frame list).
@@ -27,6 +46,89 @@ constexpr int64_t kHintUpdateBytes = 32;
 constexpr int64_t kPerObjectMoveOverhead = 32;
 
 }  // namespace
+
+// Bridges the lower layers' observer interfaces (sim::SchedObserver,
+// rpc::TransportObserver) into the RuntimeObserver and metrics registry.
+// Allocated only while a sink is attached, so detached runs never construct
+// it and the kernel/transport hooks stay null.
+struct Runtime::Instrumentation : public sim::SchedObserver, public rpc::TransportObserver {
+  explicit Instrumentation(Runtime* rt) : rt(rt) {}
+
+  Runtime* rt;
+  // depart time per in-flight rpc id (erased on response) for latency.
+  std::unordered_map<uint64_t, Time> rpc_depart;
+
+  // --- sim::SchedObserver ----------------------------------------------------
+  void OnFiberCreate(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnThreadCreate(when, node, f.name);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("sched.threads.created", node).Add();
+    }
+  }
+  void OnFiberDispatch(Time when, sim::NodeId node, const sim::Fiber& f,
+                       Duration queue_wait) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnThreadDispatch(when, node, f.name, queue_wait);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetHistogram("sched.runqueue.wait", node)
+          .Record(static_cast<double>(queue_wait));
+      rt->metrics_->GetHistogram("sched.runqueue.depth", node)
+          .Record(static_cast<double>(rt->sim_->RunQueueLength(node)));
+    }
+  }
+  void OnFiberBlock(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnThreadBlock(when, node, f.name);
+    }
+  }
+  void OnFiberUnblock(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnThreadUnblock(when, node, f.name);
+    }
+  }
+  void OnFiberPreempt(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnThreadPreempt(when, node, f.name);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("sched.preempts", node).Add();
+    }
+  }
+  void OnFiberExit(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnThreadExit(when, node, f.name);
+    }
+  }
+
+  // --- rpc::TransportObserver ------------------------------------------------
+  void OnRpcRequest(Time depart, rpc::NodeId src, rpc::NodeId dst, int64_t bytes,
+                    uint64_t id) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnRpcRequest(depart, src, dst, bytes, id);
+    }
+    if (rt->metrics_ != nullptr) {
+      rpc_depart[id] = depart;
+    }
+  }
+  void OnRpcResponse(Time when, Time reply_arrive, rpc::NodeId src, rpc::NodeId dst,
+                     int64_t bytes, uint64_t id) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnRpcResponse(when, reply_arrive, src, dst, bytes, id);
+    }
+    if (rt->metrics_ != nullptr) {
+      auto it = rpc_depart.find(id);
+      if (it != rpc_depart.end()) {
+        // Latency as seen by the requester (dst of the reply).
+        rt->metrics_->GetHistogram("rpc.roundtrip.latency", dst)
+            .Record(static_cast<double>(reply_arrive - it->second));
+        rpc_depart.erase(it);
+      }
+    }
+  }
+};
 
 Runtime::Runtime(const Config& config) : config_(config) {
   AMBER_CHECK(g_runtime == nullptr) << "only one Runtime may exist at a time";
@@ -121,6 +223,7 @@ Time Runtime::Run(std::function<void()> main) {
   t->fiber_->user_data = t;
   threads_.push_back(t);
   const Time end = sim_->Run();
+  PublishRunTotals(end);
   SetLogTimeSource(nullptr);
   return end;
 }
@@ -247,23 +350,47 @@ void Runtime::DeleteObject(Object* obj) {
 
 void Runtime::EnterInvocation(Object* primary, int64_t args_wire_bytes) {
   ThreadObject* t = current_thread();
+  const bool instr = instrumented();
   // Frame push precedes the residency check (§3.5) so a concurrent move
   // already sees this thread as bound to the object.
-  t->frames_.push_back(Frame{primary});
+  t->frames_.push_back(Frame{primary, instr ? sim_->Now() : 0});
   sim_->Charge(cost().local_invoke);
   sim_->Sync();
+  const int64_t migrations_before = thread_migrations_;
   EnsureResident(primary, args_wire_bytes);
+  if (instr) {
+    const bool remote = thread_migrations_ != migrations_before;
+    t->frames_.back().remote = remote;
+    if (observer_ != nullptr) {
+      observer_->OnInvokeEnter(sim_->Now(), here(), t->name_, ObjectLabel(primary), remote);
+    }
+  }
 }
 
 void Runtime::ExitInvocation(int64_t result_wire_bytes) {
   ThreadObject* t = current_thread();
   AMBER_CHECK(t->frames_.size() > 1) << "invocation stack underflow";
+  const Frame done = t->frames_.back();
   t->frames_.pop_back();
   sim_->Charge(cost().local_return);
   sim_->Sync();
   // Return-time check, made after the frame pop (§3.5): continue where the
   // enclosing frame's object now lives.
   EnsureResident(t->frames_.back().object, result_wire_bytes);
+  if (instrumented()) {
+    const Time now = sim_->Now();
+    const Duration span = now - done.enter;
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetHistogram(done.remote ? "amber.invoke.latency.remote"
+                                     : "amber.invoke.latency.local",
+                         here())
+          .Record(static_cast<double>(span));
+    }
+    if (observer_ != nullptr) {
+      observer_->OnInvokeExit(now, here(), t->name_, span, done.remote);
+    }
+  }
 }
 
 void Runtime::ResumeHook(sim::Fiber* f) {
@@ -294,10 +421,16 @@ void Runtime::TravelThread(NodeId dst, int64_t extra_bytes) {
   migration_matrix_[static_cast<size_t>(src) * static_cast<size_t>(nodes()) +
                     static_cast<size_t>(dst)] += 1;
   const int64_t payload = ThreadPayloadBytes() + extra_bytes;
+  const Time depart = sim_->Now();
   if (observer_ != nullptr) {
-    observer_->OnThreadMigrate(sim_->Now(), src, dst, t->name_, payload);
+    observer_->OnThreadMigrate(depart, src, dst, t->name_, payload);
   }
   rpc_->Travel(dst, payload);
+  if (metrics_ != nullptr) {
+    // Departure decision to running again at dst (marshal + wire + dispatch).
+    metrics_->GetHistogram("amber.migration.latency").Record(static_cast<double>(sim_->Now() - depart));
+    metrics_->GetCounter("amber.migration.bytes").Add(payload);
+  }
 }
 
 void Runtime::EnsureResident(Object* obj, int64_t payload_bytes) {
@@ -346,6 +479,9 @@ void Runtime::EnsureResident(Object* obj, int64_t payload_bytes) {
     AMBER_LOG(kTrace) << "EnsureResident: chase " << obj << " " << cur << " -> " << target;
     visited.emplace_back(cur, target);
     TravelThread(target, payload_bytes);
+  }
+  if (hops > 0 && metrics_ != nullptr) {
+    metrics_->GetHistogram("amber.forward.chain").Record(static_cast<double>(hops));
   }
   // Path compaction (§3.3): every node along the chain learns the final
   // location, via asynchronous hint updates.
@@ -422,6 +558,9 @@ NodeId Runtime::ResolveLocation(Object* obj) {
 
 void Runtime::FetchReplica(Object* obj, NodeId from) {
   const NodeId cur = here();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("amber.replica.fetches").Add();
+  }
   NodeId target = from;
   int hops = 0;
   const int64_t obj_bytes = static_cast<int64_t>(obj->header_.size);
@@ -543,6 +682,7 @@ void Runtime::MoveTo(Object* obj, NodeId dst) {
 
 void Runtime::MoveOutLocal(Object* obj, NodeId dst) {
   const NodeId src = here();
+  const Time move_start = metrics_ != nullptr ? sim_->Now() : 0;
   std::vector<Object*> closure;
   CollectClosure(obj, &closure);
   sim_->Charge(cost().move_setup);
@@ -563,19 +703,26 @@ void Runtime::MoveOutLocal(Object* obj, NodeId dst) {
   if (observer_ != nullptr) {
     observer_->OnObjectMove(sim_->Now(), obj, src, dst, total);
   }
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("amber.move.latency").Record(static_cast<double>(sim_->Now() - move_start));
+    metrics_->GetCounter("amber.move.bytes").Add(total);
+  }
 }
 
 bool Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst) {
   const NodeId cur = here();
   AMBER_CHECK(owner != cur);
   sim::Fiber* self = sim_->current();
+  const Time move_start = metrics_ != nullptr ? sim_->Now() : 0;
+  int64_t moved_bytes = 0;
   bool accepted = false;
   // Charge the request like any control send, then run the source side of
   // the move at the owner (event context, latency model), then block until
   // the destination's install acknowledgement.
   sim_->Charge(cost().MarshalCost(kControlBytes) + cost().rpc_send_software);
   sim_->Sync();
-  net_->Send(cur, owner, kControlBytes, sim_->Now(), [this, obj, owner, dst, cur, self, &accepted] {
+  net_->Send(cur, owner, kControlBytes, sim_->Now(), [this, obj, owner, dst, cur, self, &accepted,
+                                                      &moved_bytes] {
     if (!tables_[static_cast<size_t>(owner)]->IsResident(obj)) {
       // The object moved on; NACK so the requester re-resolves.
       const Time back = net_->Send(owner, cur, kControlBytes, sim_->Now());
@@ -586,6 +733,7 @@ bool Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst) {
     std::vector<Object*> closure;
     CollectClosure(obj, &closure);
     const int64_t total = FlipDescriptorsForMove(closure, owner, dst);
+    moved_bytes = total;
     sim_->RequestPreempt(owner);
     SerializeClosure(closure);
     const Time depart =
@@ -604,6 +752,10 @@ bool Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst) {
     }
   });
   sim_->Block();
+  if (accepted && metrics_ != nullptr) {
+    metrics_->GetHistogram("amber.move.latency").Record(static_cast<double>(sim_->Now() - move_start));
+    metrics_->GetCounter("amber.move.bytes").Add(moved_bytes);
+  }
   return accepted;
 }
 
@@ -774,13 +926,168 @@ void Runtime::SetScheduler(NodeId node, std::unique_ptr<sim::RunQueue> queue) {
 
 void Runtime::SetObserver(RuntimeObserver* observer) {
   observer_ = observer;
-  if (observer != nullptr) {
-    net_->SetMessageObserver([this](Time depart, Time arrive, NodeId src, NodeId dst,
-                                    int64_t bytes) {
-      observer_->OnMessage(depart, arrive, src, dst, bytes);
-    });
+  UpdateInstrumentation();
+}
+
+void Runtime::SetMetrics(metrics::Registry* registry) {
+  metrics_ = registry;
+  if (registry != nullptr) {
+    // Pre-register the live-path families so the document always contains
+    // them (at zero) even when the run never hits a path.
+    for (NodeId n = 0; n < nodes(); ++n) {
+      registry->GetHistogram("amber.invoke.latency.local", n);
+      registry->GetHistogram("amber.invoke.latency.remote", n);
+      registry->GetHistogram("sched.runqueue.wait", n);
+      registry->GetHistogram("sched.runqueue.depth", n);
+      registry->GetHistogram("sync.lock.wait", n);
+      registry->GetHistogram("rpc.roundtrip.latency", n);
+    }
+    registry->GetHistogram("amber.migration.latency");
+    registry->GetHistogram("amber.move.latency");
+    registry->GetHistogram("amber.forward.chain");
+    registry->GetHistogram("sync.lock.hold");
+    registry->GetCounter("amber.migration.bytes");
+    registry->GetCounter("amber.move.bytes");
+    registry->GetCounter("amber.replica.fetches");
+    registry->GetCounter("sync.condition.wakeups");
+  }
+  UpdateInstrumentation();
+}
+
+void Runtime::UpdateInstrumentation() {
+  const bool on = observer_ != nullptr || metrics_ != nullptr;
+  if (on && instr_ == nullptr) {
+    instr_ = std::make_unique<Instrumentation>(this);
+  }
+  sim_->SetSchedObserver(on ? instr_.get() : nullptr);
+  rpc_->SetObserver(on ? instr_.get() : nullptr);
+  if (on) {
+    net_->SetMessageObserver(
+        [this](Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) {
+          if (observer_ != nullptr) {
+            observer_->OnMessage(depart, arrive, src, dst, bytes);
+          }
+          if (metrics_ != nullptr) {
+            const std::string link = metrics::Registry::LinkLabel(src, dst);
+            metrics_->GetCounter("net.link.messages", link).Add();
+            metrics_->GetCounter("net.link.bytes", link).Add(bytes);
+          }
+        });
   } else {
     net_->SetMessageObserver(nullptr);
+  }
+}
+
+void Runtime::PublishRunTotals(Time end) {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  metrics::Registry& m = *metrics_;
+  m.GetCounter("amber.objects.created").Add(objects_created_);
+  m.GetCounter("amber.objects.moved").Add(objects_moved_);
+  m.GetCounter("amber.replicas.installed").Add(replicas_installed_);
+  m.GetCounter("amber.threads.migrated").Add(thread_migrations_);
+  m.GetCounter("amber.forward.hops").Add(forward_hops_);
+  for (NodeId s = 0; s < nodes(); ++s) {
+    for (NodeId d = 0; d < nodes(); ++d) {
+      const int64_t c = MigrationCount(s, d);
+      if (c != 0) {
+        m.GetCounter("amber.migration.matrix", metrics::Registry::LinkLabel(s, d)).Add(c);
+      }
+    }
+  }
+  m.GetCounter("net.messages").Add(net_->messages());
+  m.GetCounter("net.bytes").Add(net_->bytes_sent());
+  m.GetCounter("net.fragments").Add(net_->fragments());
+  m.GetGauge("net.busy_ns").Set(static_cast<double>(net_->busy_time()));
+  m.GetCounter("rpc.roundtrips").Add(rpc_->roundtrips());
+  m.GetCounter("rpc.travels").Add(rpc_->travels());
+  m.GetCounter("sim.events").Add(static_cast<int64_t>(sim_->events_run()));
+  m.GetCounter("sim.dispatches").Add(static_cast<int64_t>(sim_->dispatches()));
+  m.GetCounter("sim.preemptions").Add(static_cast<int64_t>(sim_->preemptions()));
+  for (NodeId n = 0; n < nodes(); ++n) {
+    m.GetGauge("sched.busy_ns", n).Set(static_cast<double>(sim_->NodeBusyTime(n)));
+  }
+  m.GetGauge("run.virtual_time").Set(static_cast<double>(end));
+  m.GetGauge("run.nodes").Set(static_cast<double>(nodes()));
+  m.GetGauge("run.procs_per_node").Set(static_cast<double>(procs_per_node()));
+}
+
+int Runtime::SyncObjectId(const void* obj) {
+  const auto [it, inserted] = sync_ids_.try_emplace(obj, static_cast<int>(sync_ids_.size()) + 1);
+  return it->second;
+}
+
+void Runtime::NotifyLockBlocked(const void* lock) {
+  if (!instrumented()) {
+    return;
+  }
+  const int id = SyncObjectId(lock);
+  if (observer_ != nullptr) {
+    observer_->OnLockBlocked(sim_->Now(), here(), current_thread()->name_, id);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("sync.lock.blocked", "lock" + std::to_string(id)).Add();
+  }
+}
+
+void Runtime::NotifyLockAcquired(const void* lock, Duration wait) {
+  if (!instrumented()) {
+    return;
+  }
+  const int id = SyncObjectId(lock);
+  if (observer_ != nullptr) {
+    observer_->OnLockAcquired(sim_->Now(), here(), current_thread()->name_, id, wait);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("sync.lock.wait", here()).Record(static_cast<double>(wait));
+  }
+}
+
+void Runtime::NotifyLockHeldSince(const void* lock, Time when) {
+  if (!instrumented()) {
+    return;
+  }
+  lock_acquired_[lock] = when;
+}
+
+void Runtime::NotifyLockReleased(const void* lock) {
+  if (!instrumented()) {
+    return;
+  }
+  Duration held = 0;
+  if (auto it = lock_acquired_.find(lock); it != lock_acquired_.end()) {
+    held = sim_->Now() - it->second;
+    lock_acquired_.erase(it);
+  }
+  const int id = SyncObjectId(lock);
+  if (observer_ != nullptr) {
+    observer_->OnLockReleased(sim_->Now(), here(), current_thread()->name_, id, held);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("sync.lock.hold").Record(static_cast<double>(held));
+  }
+}
+
+void Runtime::NotifyConditionWake(const void* condition, int woken) {
+  if (!instrumented()) {
+    return;
+  }
+  const int id = SyncObjectId(condition);
+  if (observer_ != nullptr) {
+    observer_->OnConditionWake(sim_->Now(), here(), id, woken);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("sync.condition.wakeups").Add(woken);
+  }
+}
+
+void Runtime::NotifyBarrierWait() {
+  if (!instrumented()) {
+    return;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("sync.barrier.waits", here()).Add();
   }
 }
 

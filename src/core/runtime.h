@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -28,28 +29,78 @@
 #include "src/rpc/transport.h"
 #include "src/sim/kernel.h"
 
+namespace metrics {
+class Registry;
+}
+
 namespace amber {
 
 class Object;
 class ThreadObject;
 
-// Observer of the runtime's distribution events (tracing, debugging).
-// Callbacks run at ordered points with virtual timestamps; they must not
-// call back into the runtime.
+// Observer of the runtime's events — the instrumentation bus. Callbacks run
+// at ordered points with virtual timestamps; deterministic runs produce the
+// identical event sequence. Observers must not call back into the runtime.
+//
+// Four event families:
+//   * distribution — migrations, moves, replicas, network messages;
+//   * scheduler    — thread lifecycle, run-queue wait, blocking, preemption
+//                    (bridged from sim::Kernel);
+//   * invocation   — Enter/Exit *span* pairs around every Ref::Call / Join,
+//                    labelled local or remote;
+//   * contention   — lock wait/hold and condition wakeups (from core/sync),
+//                    request/response roundtrips (from rpc::Transport).
+// Every emission site is guarded, so an unattached runtime pays nothing.
 class RuntimeObserver {
  public:
   virtual ~RuntimeObserver() = default;
+
+  // --- Distribution events ---------------------------------------------------
   virtual void OnThreadMigrate(Time when, NodeId src, NodeId dst, const std::string& thread,
                                int64_t bytes) {}
   virtual void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst, int64_t bytes) {}
   virtual void OnReplicaInstall(Time when, const void* obj, NodeId node) {}
   virtual void OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) {}
+
+  // --- Scheduler events ------------------------------------------------------
+  virtual void OnThreadCreate(Time when, NodeId node, const std::string& thread) {}
+  // `queue_wait` is the time spent ready on the run queue before dispatch.
+  virtual void OnThreadDispatch(Time when, NodeId node, const std::string& thread,
+                                Duration queue_wait) {}
+  virtual void OnThreadBlock(Time when, NodeId node, const std::string& thread) {}
+  virtual void OnThreadUnblock(Time when, NodeId node, const std::string& thread) {}
+  virtual void OnThreadPreempt(Time when, NodeId node, const std::string& thread) {}
+  virtual void OnThreadExit(Time when, NodeId node, const std::string& thread) {}
+
+  // --- Invocation spans ------------------------------------------------------
+  // Emitted once the thread is co-resident with the object (user code is
+  // about to run); `remote` is whether reaching the object required
+  // migration. Enter/Exit pairs nest properly per thread.
+  virtual void OnInvokeEnter(Time when, NodeId node, const std::string& thread,
+                             const std::string& object, bool remote) {}
+  virtual void OnInvokeExit(Time when, NodeId node, const std::string& thread, Duration span,
+                            bool remote) {}
+
+  // --- Contention events -----------------------------------------------------
+  // `lock` is a small dense id assigned in first-contention order (stable
+  // across identical runs, unlike pointers).
+  virtual void OnLockBlocked(Time when, NodeId node, const std::string& thread, int lock) {}
+  virtual void OnLockAcquired(Time when, NodeId node, const std::string& thread, int lock,
+                              Duration wait) {}
+  virtual void OnLockReleased(Time when, NodeId node, const std::string& thread, int lock,
+                              Duration held) {}
+  virtual void OnConditionWake(Time when, NodeId node, int condition, int woken) {}
+  virtual void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) {}
+  virtual void OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
+                             uint64_t id) {}
 };
 
 // An invocation-stack frame: user code in this frame runs inside `object`
 // (the primary), so the thread is *bound* to it (§3.5) until the frame pops.
 struct Frame {
   Object* object;
+  Time enter = 0;       // virtual time the invocation began (span start)
+  bool remote = false;  // entry required a thread migration
 };
 
 class Runtime {
@@ -142,9 +193,34 @@ class Runtime {
   // Installs a scheduling policy on a node (§2.1 replaceable scheduler).
   void SetScheduler(NodeId node, std::unique_ptr<sim::RunQueue> queue);
 
-  // Attaches a distribution-event observer (e.g. trace::Tracer). Call
-  // before Run(). Pass nullptr to detach.
+  // Attaches an event observer (e.g. trace::Tracer). Call before Run().
+  // Pass nullptr to detach.
   void SetObserver(RuntimeObserver* observer);
+
+  // Attaches a metrics registry. The runtime pre-registers and fills the
+  // core metric families (see docs/OBSERVABILITY.md for the catalogue):
+  // invocation latency local/remote, migration counts/bytes/latency,
+  // forwarding-chain length, replica fetches, run-queue depth/wait, lock
+  // wait/hold, rpc latency and per-link traffic are recorded live; scalar
+  // totals are published when Run() finishes. Call before Run(); nullptr
+  // detaches. With no registry attached the hot paths are untouched.
+  void SetMetrics(metrics::Registry* registry);
+  metrics::Registry* metrics() const { return metrics_; }
+
+  // True when an observer or metrics registry is attached; instrumentation
+  // call sites outside the runtime (core/sync) gate on this.
+  bool instrumented() const { return observer_ != nullptr || metrics_ != nullptr; }
+
+  // --- Contention instrumentation (called by core/sync; cheap no-ops
+  // unless instrumented()) ----------------------------------------------------
+  void NotifyLockBlocked(const void* lock);
+  void NotifyLockAcquired(const void* lock, Duration wait);
+  // Records that `lock` became held at `when` (uncontended acquire or FIFO
+  // handoff); NotifyLockReleased derives the hold time from it.
+  void NotifyLockHeldSince(const void* lock, Time when);
+  void NotifyLockReleased(const void* lock);
+  void NotifyConditionWake(const void* condition, int woken);
+  void NotifyBarrierWait();
 
   // --- Time / work -------------------------------------------------------------
 
@@ -243,6 +319,16 @@ class Runtime {
   void* AllocateSegmentOnCurrentNode(size_t size);
   void ResumeHook(sim::Fiber* f);
 
+  // Installs / removes the kernel, transport and network bridges according
+  // to which sinks (observer_, metrics_) are attached.
+  void UpdateInstrumentation();
+  // Copies the scalar run totals (object/migration counters, network and
+  // simulator activity, per-node busy time) into the attached registry.
+  void PublishRunTotals(Time end);
+  // Dense id for a lock/condition address, assigned in first-contention
+  // order (deterministic, unlike the address itself).
+  int SyncObjectId(const void* obj);
+
   Config config_;
   std::unique_ptr<sim::Kernel> sim_;
   std::unique_ptr<net::Network> net_;
@@ -261,6 +347,13 @@ class Runtime {
   int64_t forward_hops_ = 0;
   std::vector<int64_t> migration_matrix_;  // nodes x nodes, row = source
   RuntimeObserver* observer_ = nullptr;
+  metrics::Registry* metrics_ = nullptr;
+  // Bridges sim::SchedObserver / rpc::TransportObserver callbacks into the
+  // RuntimeObserver + registry; allocated on demand (see runtime.cc).
+  struct Instrumentation;
+  std::unique_ptr<Instrumentation> instr_;
+  std::unordered_map<const void*, int> sync_ids_;  // lock/cond -> dense id
+  std::unordered_map<const void*, Time> lock_acquired_;  // only while instrumented
   bool ran_ = false;
 };
 

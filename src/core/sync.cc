@@ -16,18 +16,27 @@ void SpinLock::Acquire() {
   sim::Kernel& k = K();
   k.Charge(k.cost().spin_op);
   k.Sync();
-  ThreadObject* self = Runtime::Current().current_thread();
+  Runtime& rt = Runtime::Current();
+  ThreadObject* self = rt.current_thread();
   if (holder_ == nullptr) {
     holder_ = self;
+    rt.NotifyLockHeldSince(this, k.Now());
     return;
   }
   AMBER_CHECK(holder_ != self) << "SpinLock is not recursive";
+  const Time blocked_at = k.Now();
+  if (rt.instrumented()) {
+    rt.NotifyLockBlocked(this);
+  }
   // Spin: keep the processor, wait for handoff. The processor stays busy
   // for the whole wait — the defining cost/latency tradeoff of a
   // non-relinquishing lock.
   spinners_.push_back(k.current());
   k.SpinWait();
   AMBER_DCHECK(holder_ == self);  // FIFO handoff installed us
+  if (rt.instrumented()) {
+    rt.NotifyLockAcquired(this, k.Now() - blocked_at);
+  }
 }
 
 bool SpinLock::TryAcquire() {
@@ -37,7 +46,9 @@ bool SpinLock::TryAcquire() {
   if (holder_ != nullptr) {
     return false;
   }
-  holder_ = Runtime::Current().current_thread();
+  Runtime& rt = Runtime::Current();
+  holder_ = rt.current_thread();
+  rt.NotifyLockHeldSince(this, k.Now());
   return true;
 }
 
@@ -45,8 +56,9 @@ void SpinLock::Release() {
   sim::Kernel& k = K();
   k.Charge(k.cost().spin_op);
   k.Sync();
-  AMBER_CHECK(holder_ == Runtime::Current().current_thread())
-      << "SpinLock released by non-holder";
+  Runtime& rt = Runtime::Current();
+  AMBER_CHECK(holder_ == rt.current_thread()) << "SpinLock released by non-holder";
+  rt.NotifyLockReleased(this);
   if (spinners_.empty()) {
     holder_ = nullptr;
     return;
@@ -54,7 +66,9 @@ void SpinLock::Release() {
   sim::Fiber* next = spinners_.front();
   spinners_.pop_front();
   holder_ = static_cast<ThreadObject*>(next->user_data);
-  k.SpinResume(next, k.Now() + k.cost().spin_op);
+  const Time resume = k.Now() + k.cost().spin_op;
+  rt.NotifyLockHeldSince(this, resume);  // next holder's hold starts at handoff
+  k.SpinResume(next, resume);
 }
 
 // --- Lock ----------------------------------------------------------------------
@@ -63,16 +77,25 @@ void Lock::Acquire() {
   sim::Kernel& k = K();
   k.Charge(k.cost().lock_op);
   k.Sync();
-  ThreadObject* self = Runtime::Current().current_thread();
+  Runtime& rt = Runtime::Current();
+  ThreadObject* self = rt.current_thread();
   if (holder_ == nullptr) {
     holder_ = self;
+    rt.NotifyLockHeldSince(this, k.Now());
     return;
   }
   AMBER_CHECK(holder_ != self) << "Lock is not recursive";
+  const Time blocked_at = k.Now();
+  if (rt.instrumented()) {
+    rt.NotifyLockBlocked(this);
+  }
   waiters_.push_back(k.current());
   k.Block();
   // Woken by a FIFO handoff that already installed us as holder.
   AMBER_DCHECK(holder_ == self);
+  if (rt.instrumented()) {
+    rt.NotifyLockAcquired(this, k.Now() - blocked_at);
+  }
 }
 
 bool Lock::TryAcquire() {
@@ -82,7 +105,9 @@ bool Lock::TryAcquire() {
   if (holder_ != nullptr) {
     return false;
   }
-  holder_ = Runtime::Current().current_thread();
+  Runtime& rt = Runtime::Current();
+  holder_ = rt.current_thread();
+  rt.NotifyLockHeldSince(this, k.Now());
   return true;
 }
 
@@ -92,6 +117,8 @@ bool Lock::HeldByCaller() const {
 
 void Lock::ReleaseInternal() {
   sim::Kernel& k = K();
+  Runtime& rt = Runtime::Current();
+  rt.NotifyLockReleased(this);
   if (waiters_.empty()) {
     holder_ = nullptr;
     return;
@@ -99,7 +126,9 @@ void Lock::ReleaseInternal() {
   sim::Fiber* next = waiters_.front();
   waiters_.pop_front();
   holder_ = static_cast<ThreadObject*>(next->user_data);
-  k.Wake(next, k.Now() + k.cost().lock_op);
+  const Time resume = k.Now() + k.cost().lock_op;
+  rt.NotifyLockHeldSince(this, resume);  // next holder's hold starts at handoff
+  k.Wake(next, resume);
 }
 
 void Lock::Release() {
@@ -134,6 +163,10 @@ void Condition::Signal() {
   }
   sim::Fiber* f = waiters_.front();
   waiters_.pop_front();
+  Runtime& rt = Runtime::Current();
+  if (rt.instrumented()) {
+    rt.NotifyConditionWake(this, 1);
+  }
   k.Wake(f, k.Now() + k.cost().lock_op);
 }
 
@@ -141,6 +174,13 @@ void Condition::Broadcast() {
   sim::Kernel& k = K();
   k.Charge(k.cost().lock_op);
   k.Sync();
+  if (waiters_.empty()) {
+    return;
+  }
+  Runtime& rt = Runtime::Current();
+  if (rt.instrumented()) {
+    rt.NotifyConditionWake(this, static_cast<int>(waiters_.size()));
+  }
   for (sim::Fiber* f : waiters_) {
     k.Wake(f, k.Now() + k.cost().lock_op);
   }
@@ -157,6 +197,10 @@ int64_t Barrier::Wait() {
   sim::Kernel& k = K();
   k.Charge(k.cost().barrier_op);
   k.Sync();
+  Runtime& rt = Runtime::Current();
+  if (rt.instrumented()) {
+    rt.NotifyBarrierWait();
+  }
   const int64_t my_phase = phase_;
   if (++arrived_ < parties_) {
     waiting_.push_back(k.current());

@@ -1,0 +1,112 @@
+#include "src/metrics/metrics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace metrics {
+namespace {
+
+// JSON number rendering: integral values print without a fraction so counter
+// sums and nanosecond timestamps stay exact; everything else uses %.9g.
+// Both forms are deterministic functions of the value's bit pattern.
+std::string Num(double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "0");  // JSON has no inf/nan
+  }
+  return buf;
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+const Registry::CounterFamily* Registry::FindCounters(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? &it->second : nullptr;
+}
+
+const Registry::GaugeFamily* Registry::FindGauges(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? &it->second : nullptr;
+}
+
+const Registry::HistogramFamily* Registry::FindHistograms(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+int64_t Registry::CounterTotal(const std::string& name) const {
+  const CounterFamily* fam = FindCounters(name);
+  if (fam == nullptr) {
+    return 0;
+  }
+  int64_t total = 0;
+  for (const auto& [label, c] : *fam) {
+    total += c.value();
+  }
+  return total;
+}
+
+void Registry::WriteJson(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first_fam = true;
+  for (const auto& [name, fam] : counters_) {
+    out << (first_fam ? "\n" : ",\n") << "    " << Quote(name) << ": {";
+    first_fam = false;
+    bool first = true;
+    for (const auto& [label, c] : fam) {
+      out << (first ? "" : ", ") << Quote(label) << ": " << c.value();
+      first = false;
+    }
+    out << "}";
+  }
+  out << (first_fam ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first_fam = true;
+  for (const auto& [name, fam] : gauges_) {
+    out << (first_fam ? "\n" : ",\n") << "    " << Quote(name) << ": {";
+    first_fam = false;
+    bool first = true;
+    for (const auto& [label, g] : fam) {
+      out << (first ? "" : ", ") << Quote(label) << ": " << Num(g.value());
+      first = false;
+    }
+    out << "}";
+  }
+  out << (first_fam ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first_fam = true;
+  for (const auto& [name, fam] : histograms_) {
+    out << (first_fam ? "\n" : ",\n") << "    " << Quote(name) << ": {";
+    first_fam = false;
+    bool first = true;
+    for (const auto& [label, h] : fam) {
+      out << (first ? "\n      " : ",\n      ") << Quote(label) << ": {\"count\": " << h.count()
+          << ", \"sum\": " << Num(h.sum()) << ", \"min\": " << Num(h.min())
+          << ", \"max\": " << Num(h.max()) << ", \"mean\": " << Num(h.mean())
+          << ", \"p50\": " << Num(h.Percentile(50)) << ", \"p90\": " << Num(h.Percentile(90))
+          << ", \"p99\": " << Num(h.Percentile(99)) << "}";
+      first = false;
+    }
+    out << (first ? "}" : "\n    }");
+  }
+  out << (first_fam ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace metrics

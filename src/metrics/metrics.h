@@ -1,0 +1,146 @@
+// Metrics registry: named counters, gauges and virtual-time histograms.
+//
+// A Registry is a flat, deterministic store of named metric families, each
+// holding one instance per *label* — "total" for the scalar case, "node3"
+// for per-node dimensions, "0->2" for per-link / migration-matrix cells.
+// The Amber runtime registers its core metrics (invocation latency,
+// migration traffic, run-queue wait, lock contention, per-link bytes) when
+// a registry is attached with Runtime::SetMetrics(); applications and
+// benchmarks register their own through the same Get* calls.
+//
+// All values are derived from virtual time and deterministic event order,
+// so WriteJson() output is byte-identical across identical runs — the
+// machine-readable stats document benchmarks dump as BENCH_<name>.json and
+// future changes diff against.
+//
+// Registries are not thread-safe; the simulation is single-host-threaded.
+
+#ifndef AMBER_SRC_METRICS_METRICS_H_
+#define AMBER_SRC_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "src/base/stats.h"
+
+namespace metrics {
+
+// Monotonic integer counter.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_ += n; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Last-value-wins instantaneous measurement.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Sample-retaining distribution with percentile queries, built on
+// amber::Samples. Values are virtual-time durations in nanoseconds unless a
+// family documents otherwise.
+class Histogram {
+ public:
+  void Record(double v) {
+    samples_.Add(v);
+    acc_.Add(v);
+  }
+
+  int64_t count() const { return acc_.count(); }
+  double sum() const { return acc_.sum(); }
+  double min() const { return acc_.min(); }
+  double max() const { return acc_.max(); }
+  double mean() const { return acc_.mean(); }
+  // p in [0, 100]. Returns 0 for an empty histogram.
+  double Percentile(double p) const {
+    return samples_.count() > 0 ? samples_.Percentile(p) : 0.0;
+  }
+
+ private:
+  mutable amber::Samples samples_;  // Percentile() sorts lazily
+  amber::Accumulator acc_;
+};
+
+class Registry {
+ public:
+  using CounterFamily = std::map<std::string, Counter>;
+  using GaugeFamily = std::map<std::string, Gauge>;
+  using HistogramFamily = std::map<std::string, Histogram>;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // --- Registration / lookup (creates the instance on first use) -----------
+
+  Counter& GetCounter(const std::string& name) { return counters_[name]["total"]; }
+  Counter& GetCounter(const std::string& name, int node) {
+    return counters_[name][NodeLabel(node)];
+  }
+  Counter& GetCounter(const std::string& name, const std::string& label) {
+    return counters_[name][label];
+  }
+
+  Gauge& GetGauge(const std::string& name) { return gauges_[name]["total"]; }
+  Gauge& GetGauge(const std::string& name, int node) { return gauges_[name][NodeLabel(node)]; }
+  Gauge& GetGauge(const std::string& name, const std::string& label) {
+    return gauges_[name][label];
+  }
+
+  Histogram& GetHistogram(const std::string& name) { return histograms_[name]["total"]; }
+  Histogram& GetHistogram(const std::string& name, int node) {
+    return histograms_[name][NodeLabel(node)];
+  }
+  Histogram& GetHistogram(const std::string& name, const std::string& label) {
+    return histograms_[name][label];
+  }
+
+  // --- Read-only access (reports) ------------------------------------------
+
+  // Returns the family, or nullptr if no metric with that name exists.
+  const CounterFamily* FindCounters(const std::string& name) const;
+  const GaugeFamily* FindGauges(const std::string& name) const;
+  const HistogramFamily* FindHistograms(const std::string& name) const;
+
+  // Sum of a counter family across all labels (0 if absent).
+  int64_t CounterTotal(const std::string& name) const;
+
+  const std::map<std::string, CounterFamily>& counters() const { return counters_; }
+  const std::map<std::string, GaugeFamily>& gauges() const { return gauges_; }
+  const std::map<std::string, HistogramFamily>& histograms() const { return histograms_; }
+
+  // --- Rendering ------------------------------------------------------------
+
+  // Stable machine-readable document:
+  //   {"counters": {name: {label: value}},
+  //    "gauges":   {name: {label: value}},
+  //    "histograms": {name: {label: {count,sum,min,max,mean,p50,p90,p99}}}}
+  // Families and labels render in lexicographic order; identical runs
+  // produce byte-identical output.
+  void WriteJson(std::ostream& out) const;
+
+  static std::string NodeLabel(int node) { return "node" + std::to_string(node); }
+  static std::string LinkLabel(int src, int dst) {
+    return std::to_string(src) + "->" + std::to_string(dst);
+  }
+
+ private:
+  std::map<std::string, CounterFamily> counters_;
+  std::map<std::string, GaugeFamily> gauges_;
+  std::map<std::string, HistogramFamily> histograms_;
+};
+
+}  // namespace metrics
+
+#endif  // AMBER_SRC_METRICS_METRICS_H_

@@ -27,13 +27,21 @@ Time Transport::Roundtrip(NodeId dst, int64_t request_bytes, std::function<int64
   AMBER_CHECK(dst != src) << "roundtrip to self";
   const Time depart = ChargeSendPath(request_bytes);
   ++roundtrips_;
+  const uint64_t id = next_rpc_id_++;
+  if (observer_ != nullptr) {
+    observer_->OnRpcRequest(depart, src, dst, request_bytes, id);
+  }
   Time reply_arrival = 0;
-  net_->Send(src, dst, request_bytes, depart, [this, f, src, dst, service, &reply_arrival] {
+  net_->Send(src, dst, request_bytes, depart, [this, f, src, dst, service, id, &reply_arrival] {
+    const Time served = kernel_->Now();
     const int64_t reply_bytes = service();
     // The service's unmarshal/marshal work is folded into the fixed
     // rpc_recv_software/marshal_base terms below (latency model).
     const Time reply_depart = kernel_->Now() + kernel_->cost().MarshalCost(reply_bytes);
     reply_arrival = net_->Send(dst, src, reply_bytes, reply_depart, nullptr);
+    if (observer_ != nullptr) {
+      observer_->OnRpcResponse(served, reply_arrival, dst, src, reply_bytes, id);
+    }
     kernel_->Wake(f, reply_arrival);
   });
   kernel_->Block();

@@ -25,6 +25,21 @@ namespace rpc {
 using amber::Time;
 using sim::NodeId;
 
+// Observer of request/response roundtrips (tracing, metrics). `id` pairs a
+// request with its response; callbacks fire at ordered points and must not
+// call back into the transport.
+class TransportObserver {
+ public:
+  virtual ~TransportObserver() = default;
+  // A request of `bytes` left `src` for `dst` at `depart`.
+  virtual void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) {}
+  // The service at `src` produced a `bytes` reply for the requester at
+  // `dst`; `when` is the service execution time, `reply_arrive` when the
+  // reply reaches the requester.
+  virtual void OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
+                             uint64_t id) {}
+};
+
 class Transport {
  public:
   Transport(sim::Kernel* kernel, net::Network* network) : kernel_(kernel), net_(network) {}
@@ -50,6 +65,10 @@ class Transport {
 
   net::Network& network() { return *net_; }
 
+  // Attaches a roundtrip observer (nullptr detaches). Emission sites are
+  // guarded, so the cost is zero when none is attached.
+  void SetObserver(TransportObserver* observer) { observer_ = observer; }
+
   // --- Statistics --------------------------------------------------------------
   int64_t roundtrips() const { return roundtrips_; }
   int64_t travels() const { return travels_; }
@@ -61,8 +80,10 @@ class Transport {
 
   sim::Kernel* kernel_;
   net::Network* net_;
+  TransportObserver* observer_ = nullptr;
   int64_t roundtrips_ = 0;
   int64_t travels_ = 0;
+  uint64_t next_rpc_id_ = 1;
 };
 
 }  // namespace rpc

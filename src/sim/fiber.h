@@ -48,6 +48,7 @@ class Fiber {
   // made ready. Never decreases.
   Time vtime = 0;
   Time quantum_end = 0;  // end of the current timeslice
+  Time ready_since = 0;  // when the fiber last joined a run queue (for wait stats)
 
   FiberState state = FiberState::kReady;
 

@@ -44,6 +44,9 @@ Fiber* Kernel::Spawn(NodeId node, void* stack_base, size_t stack_size, std::func
   f->ctx.Init(stack_base, stack_size, &FiberEntry, f);
   fibers_.push_back(std::move(owned));
   ++live_fibers_;
+  if (sched_observer_ != nullptr) {
+    sched_observer_->OnFiberCreate(Now(), node, *f);
+  }
   Post(Now(), [this, f] {
     EnqueueReady(f, queue_.now());
     TryDispatch(f->node);
@@ -81,6 +84,7 @@ void Kernel::EnqueueReady(Fiber* f, Time t) {
   AMBER_DCHECK(f->state != FiberState::kRunning && f->state != FiberState::kFinished);
   f->state = FiberState::kReady;
   f->vtime = std::max(f->vtime, t);
+  f->ready_since = f->vtime;
   // Every pass through the run queue implies a context switch in, which in
   // Amber performs the §3.5 residency re-check via the resume hook.
   f->involuntary_resume = true;
@@ -97,11 +101,15 @@ void Kernel::TryDispatch(NodeId node) {
     ns.free_procs.pop_back();
     f->processor = proc;
     f->state = FiberState::kRunning;
-    f->vtime = std::max(f->vtime, queue_.now()) + cost_.context_switch;
+    const Time start = std::max(f->vtime, queue_.now());
+    f->vtime = start + cost_.context_switch;
     f->quantum_end = f->vtime + cost_.quantum;
     ns.procs[proc].running = f;
-    ns.procs[proc].busy_since = f->vtime - cost_.context_switch;
+    ns.procs[proc].busy_since = start;
     ++dispatches_;
+    if (sched_observer_ != nullptr) {
+      sched_observer_->OnFiberDispatch(start, node, *f, start - f->ready_since);
+    }
     current_ = f;
     Context::Switch(&kernel_ctx_, &f->ctx);
     current_ = nullptr;
@@ -131,6 +139,13 @@ void Kernel::ReleaseProcessorAndMaybeRequeue(Fiber* f, bool requeue) {
     ns.busy_ns += t - ns.procs[proc].busy_since;
     ns.procs[proc].running = nullptr;
     ns.free_procs.push_back(proc);
+    if (sched_observer_ != nullptr) {
+      if (requeue) {
+        sched_observer_->OnFiberPreempt(t, node, *f);
+      } else {
+        sched_observer_->OnFiberBlock(t, node, *f);
+      }
+    }
     if (requeue) {
       EnqueueReady(f, queue_.now());
     }
@@ -222,15 +237,21 @@ void Kernel::TravelTo(NodeId node, Time arrive) {
   const Time t = f->vtime;
   f->state = FiberState::kBlocked;
   f->processor = -1;
-  Post(t, [this, src, proc, t] {
+  Post(t, [this, src, proc, t, f] {
     NodeState& ns = nodes_[src];
     ns.busy_ns += t - ns.procs[proc].busy_since;
     ns.procs[proc].running = nullptr;
     ns.free_procs.push_back(proc);
+    if (sched_observer_ != nullptr) {
+      sched_observer_->OnFiberBlock(t, src, *f);  // in flight to another node
+    }
     TryDispatch(src);
   });
   Post(arrive, [this, f, node] {
     f->node = node;
+    if (sched_observer_ != nullptr) {
+      sched_observer_->OnFiberUnblock(queue_.now(), node, *f);
+    }
     EnqueueReady(f, queue_.now());
     TryDispatch(node);
   });
@@ -270,6 +291,11 @@ void Kernel::Exit() {
   const int proc = f->processor;
   const Time t = f->vtime;
   f->processor = -1;
+  // Emitted from fiber context: the posted release below may run after a
+  // joiner has already reclaimed the Fiber record.
+  if (sched_observer_ != nullptr) {
+    sched_observer_->OnFiberExit(t, node, *f);
+  }
   Post(t, [this, node, proc, t] {
     NodeState& ns = nodes_[node];
     ns.busy_ns += t - ns.procs[proc].busy_since;
@@ -288,6 +314,9 @@ void Kernel::Wake(Fiber* f, Time t) {
   Post(t, [this, f] {
     AMBER_DCHECK(f->state == FiberState::kBlocked)
         << "waking fiber " << f->name << " in state " << static_cast<int>(f->state);
+    if (sched_observer_ != nullptr) {
+      sched_observer_->OnFiberUnblock(queue_.now(), f->node, *f);
+    }
     EnqueueReady(f, queue_.now());
     TryDispatch(f->node);
   });

@@ -34,6 +34,30 @@
 
 namespace sim {
 
+// Observer of scheduling events (run-queue activity, blocking, preemption).
+// Callbacks fire at ordered points with virtual timestamps and must not call
+// back into the kernel's mutating primitives. The Amber runtime bridges
+// these to its RuntimeObserver / metrics registry; the hooks cost nothing
+// when no observer is installed (a single null check per event site).
+class SchedObserver {
+ public:
+  virtual ~SchedObserver() = default;
+  // A fiber was created on `node` and will become ready at `when`.
+  virtual void OnFiberCreate(Time when, NodeId node, const Fiber& f) {}
+  // A fiber left the run queue and starts running; `queue_wait` is the time
+  // it spent ready-but-not-running since it was enqueued.
+  virtual void OnFiberDispatch(Time when, NodeId node, const Fiber& f, Duration queue_wait) {}
+  // A running fiber gave up its processor to wait (Block / migration
+  // departure).
+  virtual void OnFiberBlock(Time when, NodeId node, const Fiber& f) {}
+  // A blocked fiber became runnable again (Wake / migration arrival).
+  virtual void OnFiberUnblock(Time when, NodeId node, const Fiber& f) {}
+  // A running fiber was requeued involuntarily (quantum expiry, move-time
+  // preemption) or yielded.
+  virtual void OnFiberPreempt(Time when, NodeId node, const Fiber& f) {}
+  virtual void OnFiberExit(Time when, NodeId node, const Fiber& f) {}
+};
+
 class Kernel {
  public:
   struct Config {
@@ -68,6 +92,10 @@ class Kernel {
   // blocking or being preempted — Amber's context-switch-in residency check
   // (§3.5) lives here.
   void SetResumeHook(std::function<void(Fiber*)> hook) { resume_hook_ = std::move(hook); }
+
+  // Attaches a scheduling-event observer (nullptr detaches). Guarded at
+  // every emission site, so the cost is zero when none is attached.
+  void SetSchedObserver(SchedObserver* observer) { sched_observer_ = observer; }
 
   // --- Fiber-facing primitives (call only from fiber context) --------------
 
@@ -178,6 +206,7 @@ class Kernel {
   Fiber* current_ = nullptr;
   Context kernel_ctx_;
   std::function<void(Fiber*)> resume_hook_;
+  SchedObserver* sched_observer_ = nullptr;
   uint64_t next_fiber_id_ = 1;
   int live_fibers_ = 0;
   uint64_t dispatches_ = 0;

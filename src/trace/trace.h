@@ -1,10 +1,26 @@
 // Execution tracing.
 //
-// Records the runtime's distribution events — thread migrations, object
-// moves, replica installs, network messages — with virtual timestamps, and
-// renders them as chrome://tracing JSON (load in chrome://tracing or
-// https://ui.perfetto.dev) or as a plain-text log. Deterministic runs
-// produce byte-identical traces, so traces diff cleanly across changes.
+// Records the runtime's full event bus — distribution events (thread
+// migrations, object moves, replica installs, network messages), scheduler
+// events (create/dispatch/block/unblock/preempt/exit), invocation spans and
+// contention events — with virtual timestamps, and renders them as
+// chrome://tracing JSON (load in https://ui.perfetto.dev) or as a plain-text
+// log. Deterministic runs produce byte-identical traces, so traces diff
+// cleanly across changes.
+//
+// Events are recorded in delivery order. Distribution events are globally
+// nondecreasing in time; scheduler/invocation/contention events can run a
+// context-switch ahead of the event clock (fiber-context emission), so
+// renderers sort by timestamp before writing.
+//
+// The Chrome renderer emits:
+//   * "X" duration spans for invocations (tid = thread), thread-running
+//     intervals (tid = "<thread> (cpu)"), network messages and RPC
+//     roundtrips;
+//   * "s"/"f" flow arrows connecting a migration departure to the arrival
+//     on the destination node, and an RPC request to its service;
+//   * instants for moves, replica installs and lock/condition activity;
+//   * process_name metadata naming each node.
 //
 // Attach with Runtime::SetObserver(&tracer) before Run().
 
@@ -14,67 +30,117 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/runtime.h"
 
 namespace trace {
 
+using amber::Duration;
 using amber::NodeId;
 using amber::Time;
 
 enum class EventKind : uint8_t {
+  // Distribution events (globally time-ordered).
   kThreadMigrate,
   kObjectMove,
   kReplicaInstall,
   kMessage,
+  // Scheduler events.
+  kThreadCreate,
+  kThreadDispatch,
+  kThreadBlock,
+  kThreadUnblock,
+  kThreadPreempt,
+  kThreadExit,
+  // Invocation spans.
+  kInvokeEnter,
+  kInvokeExit,
+  // Contention events.
+  kLockBlocked,
+  kLockAcquired,
+  kLockReleased,
+  kConditionWake,
+  kRpcRequest,
+  kRpcResponse,
 };
 
+// True for the four kinds whose recording order is globally nondecreasing
+// in virtual time.
+bool IsDistributionEvent(EventKind kind);
+
 struct Event {
-  EventKind kind;
-  Time when;
-  NodeId src;
-  NodeId dst;
-  int64_t bytes;
-  std::string label;  // thread name or object id
+  EventKind kind = EventKind::kMessage;
+  Time when = 0;
+  Time arrive = 0;      // messages: delivery time; rpc response: reply arrival
+  NodeId src = 0;       // node for single-node events
+  NodeId dst = 0;
+  int64_t bytes = 0;
+  Duration dur = 0;     // invoke span, dispatch queue-wait, lock wait/hold
+  int64_t value = 0;    // lock/condition id, wakeup count, rpc id
+  bool remote = false;  // invocation required a migration
+  std::string label;    // thread name or object label
 };
 
 class Tracer : public amber::RuntimeObserver {
  public:
-  // --- RuntimeObserver -------------------------------------------------------
+  // --- RuntimeObserver: distribution ----------------------------------------
   void OnThreadMigrate(Time when, NodeId src, NodeId dst, const std::string& thread,
-                       int64_t bytes) override {
-    events_.push_back({EventKind::kThreadMigrate, when, src, dst, bytes, thread});
-  }
-  void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst,
-                    int64_t bytes) override {
-    events_.push_back({EventKind::kObjectMove, when, src, dst, bytes, ObjLabel(obj)});
-  }
-  void OnReplicaInstall(Time when, const void* obj, NodeId node) override {
-    events_.push_back({EventKind::kReplicaInstall, when, node, node, 0, ObjLabel(obj)});
-  }
-  void OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) override {
-    events_.push_back({EventKind::kMessage, depart, src, dst, bytes,
-                       std::to_string(arrive)});
-  }
+                       int64_t bytes) override;
+  void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst, int64_t bytes) override;
+  void OnReplicaInstall(Time when, const void* obj, NodeId node) override;
+  void OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) override;
+
+  // --- RuntimeObserver: scheduler -------------------------------------------
+  void OnThreadCreate(Time when, NodeId node, const std::string& thread) override;
+  void OnThreadDispatch(Time when, NodeId node, const std::string& thread,
+                        Duration queue_wait) override;
+  void OnThreadBlock(Time when, NodeId node, const std::string& thread) override;
+  void OnThreadUnblock(Time when, NodeId node, const std::string& thread) override;
+  void OnThreadPreempt(Time when, NodeId node, const std::string& thread) override;
+  void OnThreadExit(Time when, NodeId node, const std::string& thread) override;
+
+  // --- RuntimeObserver: invocation spans ------------------------------------
+  void OnInvokeEnter(Time when, NodeId node, const std::string& thread,
+                     const std::string& object, bool remote) override;
+  void OnInvokeExit(Time when, NodeId node, const std::string& thread, Duration span,
+                    bool remote) override;
+
+  // --- RuntimeObserver: contention ------------------------------------------
+  void OnLockBlocked(Time when, NodeId node, const std::string& thread, int lock) override;
+  void OnLockAcquired(Time when, NodeId node, const std::string& thread, int lock,
+                      Duration wait) override;
+  void OnLockReleased(Time when, NodeId node, const std::string& thread, int lock,
+                      Duration held) override;
+  void OnConditionWake(Time when, NodeId node, int condition, int woken) override;
+  void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) override;
+  void OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
+                     uint64_t id) override;
 
   // --- Access / rendering ------------------------------------------------------
 
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    events_.clear();
+    obj_ids_.clear();
+  }
 
-  // chrome://tracing "trace event format" JSON: one instant event per
-  // distribution event, grouped by node (pid = node).
+  // chrome://tracing "trace event format" JSON; see the header comment for
+  // the mapping. pid = node, tid = thread (or "net" / "rpc" rows).
   void WriteChromeTrace(std::ostream& out) const;
 
   // Plain-text timeline, one line per event.
   void WriteText(std::ostream& out) const;
 
  private:
-  static std::string ObjLabel(const void* obj);
+  // Dense object label ("obj-N"), assigned in first-seen order so traces are
+  // identical across runs (unlike pointer values).
+  std::string ObjLabel(const void* obj);
 
   std::vector<Event> events_;
+  std::unordered_map<const void*, int> obj_ids_;
 };
 
 }  // namespace trace

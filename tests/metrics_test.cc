@@ -1,0 +1,200 @@
+// Tests for the metrics registry: percentile math, registry lookups,
+// runtime core metrics, JSON determinism, and the registry-backed cluster
+// report sections.
+
+#include "src/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/amber.h"
+#include "src/core/cluster_report.h"
+
+namespace metrics {
+namespace {
+
+using namespace amber;
+
+TEST(HistogramTest, PercentileMath) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(i);  // 1..100
+  }
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(h.Percentile(90), 90.0, 1.0);
+  EXPECT_NEAR(h.Percentile(99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(RegistryTest, LabelsAndLookup) {
+  Registry reg;
+  reg.GetCounter("a").Add(3);
+  reg.GetCounter("a", 2).Add(4);
+  reg.GetCounter("b", "x->y").Add(5);
+  reg.GetGauge("g", 1).Set(2.5);
+  reg.GetHistogram("h", 0).Record(7.0);
+
+  EXPECT_EQ(reg.CounterTotal("a"), 7);
+  EXPECT_EQ(reg.CounterTotal("b"), 5);
+  EXPECT_EQ(reg.CounterTotal("missing"), 0);
+  ASSERT_NE(reg.FindCounters("a"), nullptr);
+  EXPECT_EQ(reg.FindCounters("a")->at("node2").value(), 4);
+  EXPECT_EQ(reg.FindCounters("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.FindGauges("g")->at("node1").value(), 2.5);
+  EXPECT_EQ(reg.FindHistograms("h")->at("node0").count(), 1);
+  EXPECT_EQ(Registry::NodeLabel(3), "node3");
+  EXPECT_EQ(Registry::LinkLabel(1, 2), "1->2");
+}
+
+Runtime::Config TestConfig() {
+  Runtime::Config c;
+  c.nodes = 2;
+  c.procs_per_node = 2;
+  c.arena_bytes = size_t{128} << 20;
+  return c;
+}
+
+class Pokee : public Object {
+ public:
+  int Poke() {
+    Work(kMicrosecond * 50);
+    return ++pokes_;
+  }
+
+ private:
+  int pokes_ = 0;
+};
+
+class Monitored : public Object {
+ public:
+  void Bump() {
+    lock_.Acquire();
+    Work(kMillisecond * 2);
+    ++value_;
+    lock_.Release();
+  }
+
+ private:
+  Lock lock_;
+  int value_ = 0;
+};
+
+// A deterministic 2-node scenario: remote invocations, a contended lock,
+// an object move. Returns the registry's JSON document.
+std::string RunScenario(Registry* reg) {
+  Runtime rt(TestConfig());
+  rt.SetMetrics(reg);
+  rt.Run([&] {
+    auto shared = NewOn<Monitored>(1);
+    // Both workers start on node 0 and migrate to the monitor on node 1.
+    auto t1 = StartThread(shared, &Monitored::Bump);
+    auto t2 = StartThread(shared, &Monitored::Bump);
+    t1.Join();
+    t2.Join();
+    auto thing = New<Pokee>();
+    MoveTo(thing, 1 - Here());  // wherever we are, the object goes elsewhere
+    thing.Call(&Pokee::Poke);   // so this invoke is remote and migrates us
+  });
+  std::ostringstream out;
+  reg->WriteJson(out);
+  return out.str();
+}
+
+TEST(RegistryTest, RuntimeCoreMetrics) {
+  Registry reg;
+  const std::string json = RunScenario(&reg);
+
+  // Distribution totals published at end of Run().
+  EXPECT_GE(reg.CounterTotal("amber.objects.created"), 2);
+  EXPECT_GE(reg.CounterTotal("amber.objects.moved"), 1);
+  EXPECT_GE(reg.CounterTotal("amber.threads.migrated"), 2);
+  EXPECT_GT(reg.CounterTotal("net.messages"), 0);
+  EXPECT_GT(reg.CounterTotal("net.link.messages"), 0);
+
+  // Remote invocation latency recorded per destination node.
+  const auto* remote = reg.FindHistograms("amber.invoke.latency.remote");
+  ASSERT_NE(remote, nullptr);
+  int64_t remote_count = 0;
+  for (const auto& [label, h] : *remote) {
+    remote_count += h.count();
+  }
+  EXPECT_GE(remote_count, 1);
+
+  // The two Bump threads contend on the member lock.
+  EXPECT_GE(reg.CounterTotal("sync.lock.blocked"), 1);
+  const auto* holds = reg.FindHistograms("sync.lock.hold");
+  ASSERT_NE(holds, nullptr);
+  EXPECT_GE(holds->at("total").count(), 2);
+  // Each hold spans at least the 2ms critical section.
+  EXPECT_GE(holds->at("total").min(), 2.0 * kMillisecond);
+
+  // Scheduler metrics.
+  EXPECT_GT(reg.CounterTotal("sched.threads.created"), 0);
+  const auto* waits = reg.FindHistograms("sched.runqueue.wait");
+  ASSERT_NE(waits, nullptr);
+
+  // The run is machine-summarized.
+  EXPECT_GT(reg.FindGauges("run.virtual_time")->at("total").value(), 0.0);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(RegistryTest, JsonByteIdenticalAcrossRuns) {
+  Registry a;
+  Registry b;
+  EXPECT_EQ(RunScenario(&a), RunScenario(&b));
+}
+
+TEST(RegistryTest, ClusterReportUsesRegistry) {
+  Registry reg;
+  Runtime rt(TestConfig());
+  rt.SetMetrics(&reg);
+  Time elapsed = 0;
+  rt.Run([&] {
+    auto shared = NewOn<Monitored>(1);
+    auto t1 = StartThread(shared, &Monitored::Bump);
+    auto t2 = StartThread(shared, &Monitored::Bump);
+    t1.Join();
+    t2.Join();
+    elapsed = Now();
+  });
+  const std::string report = ClusterReport(rt, elapsed);
+  EXPECT_NE(report.find("lock contention:"), std::string::npos);
+  EXPECT_NE(report.find("blocked per lock:"), std::string::npos);
+  EXPECT_NE(report.find("hold:"), std::string::npos);
+}
+
+TEST(RegistryTest, NoMetricsMeansNoChangeInVirtualTime) {
+  auto run = [](Registry* reg) {
+    Runtime rt(TestConfig());
+    if (reg != nullptr) {
+      rt.SetMetrics(reg);
+    }
+    Time end = 0;
+    rt.Run([&] {
+      auto thing = New<Pokee>();
+      MoveTo(thing, 1);
+      thing.Call(&Pokee::Poke);
+      end = Now();
+    });
+    return end;
+  };
+  Registry reg;
+  EXPECT_EQ(run(nullptr), run(&reg));
+}
+
+}  // namespace
+}  // namespace metrics
