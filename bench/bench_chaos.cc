@@ -1,0 +1,133 @@
+// Chaos benchmark: the Figure-2 Red/Black SOR workload under a standard
+// lossy fault plan — every link drops/duplicates/delays frames, and one node
+// fail-stops mid-solve and restarts. Demonstrates the failure-aware runtime
+// end to end: the solve completes through retransmission, duplicate
+// suppression, forwarding-chain repair and the kRetry failure handler, and
+// the answer (grid hash) matches the clean run exactly.
+//
+// Emits BENCH_chaos.json with the full metrics registry, including the
+// fault.* counters (drops, dups, delays, crashes) and rpc.retries /
+// rpc.timeouts. Everything derives from virtual time and one seeded RNG, so
+// two runs of this binary produce byte-identical output files.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/apps/sor/sor.h"
+#include "src/fault/fault.h"
+#include "src/metrics/metrics.h"
+
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int kProcs = 2;
+constexpr uint64_t kSeed = 42;
+
+sor::Params ReducedProblem() {
+  sor::Params p;  // a quarter-scale Figure-2 problem: chaos multiplies runtime
+  p.rows = 62;
+  p.cols = 210;
+  p.sections = 4;
+  p.max_iterations = 30;
+  p.tolerance = 0.0;
+  return p;
+}
+
+// The "standard lossy plan": every link is bad in every way the model
+// supports, plus one mid-solve crash/restart. Times are picked relative to
+// the clean run's solve time so the outage always lands inside the solve.
+fault::FaultPlan StandardLossyPlan(amber::Time clean_end) {
+  fault::FaultPlan plan;
+  plan.seed = kSeed;
+  fault::LinkRule rule;  // applies to every directed link
+  rule.drop = 0.05;
+  rule.duplicate = 0.02;
+  rule.delay = 0.05;
+  rule.delay_min = amber::Micros(100);
+  rule.delay_max = amber::Millis(1);
+  plan.links.push_back(rule);
+  fault::NodeEvent ev;
+  ev.node = kNodes - 1;
+  ev.crash_at = clean_end / 4;
+  ev.restart_at = clean_end / 2;
+  plan.node_events.push_back(ev);
+  return plan;
+}
+
+sor::Result RunOnce(const sor::Params& params, const fault::FaultPlan& plan,
+                    metrics::Registry* registry, fault::Injector* injector) {
+  amber::Runtime::Config config;
+  config.nodes = kNodes;
+  config.procs_per_node = kProcs;
+  config.arena_bytes = size_t{512} << 20;
+  amber::Runtime rt(config);
+  if (registry != nullptr) {
+    rt.SetMetrics(registry);
+  }
+  if (injector != nullptr) {
+    rt.SetFaultInjector(injector);
+    rt.SetFailureHandler([](const amber::FailureEvent&) { return amber::FailureAction::kRetry; });
+  }
+  return sor::RunAmber(rt, params);
+}
+
+}  // namespace
+
+int main() {
+  const sor::Params params = ReducedProblem();
+  std::printf("Chaos: Red/Black SOR (grid %dx%d, %d sections, %d iterations) on %dNx%dP\n",
+              params.rows, params.cols, params.sections, params.max_iterations, kNodes, kProcs);
+  std::printf("under per-link loss/duplication/delay and a mid-solve node crash.\n\n");
+
+  // Clean reference run: no plan, no injector — the unperturbed solve.
+  const sor::Result clean = RunOnce(params, fault::FaultPlan{}, nullptr, nullptr);
+  std::printf("clean solve: %.2f ms (virtual)\n", amber::ToMillis(clean.solve_time));
+
+  const fault::FaultPlan plan = StandardLossyPlan(clean.solve_time);
+  metrics::Registry registry;
+  fault::Injector injector(plan);
+  const sor::Result chaos = RunOnce(params, plan, &registry, &injector);
+
+  const double slowdown =
+      static_cast<double>(chaos.solve_time) / static_cast<double>(clean.solve_time);
+  std::printf("chaos solve: %.2f ms (virtual), %.2fx the clean run\n",
+              amber::ToMillis(chaos.solve_time), slowdown);
+  std::printf("grid hash:   %s\n",
+              chaos.grid_hash == clean.grid_hash ? "matches clean run" : "MISMATCH");
+
+  benchutil::Table table({"fault", "count"});
+  table.AddRow({"frames dropped", benchutil::FmtI(injector.drops())});
+  table.AddRow({"frames duplicated", benchutil::FmtI(injector.duplicates())});
+  table.AddRow({"frames delayed", benchutil::FmtI(injector.delays())});
+  table.AddRow({"node crashes", benchutil::FmtI(injector.crashes())});
+  table.AddRow({"node restarts", benchutil::FmtI(injector.restarts())});
+  std::printf("\n");
+  table.Print();
+
+  registry.GetGauge("chaos.slowdown").Set(slowdown);
+  registry.GetGauge("chaos.grid_hash_matches").Set(chaos.grid_hash == clean.grid_hash ? 1 : 0);
+
+  benchutil::BenchJson json("chaos");
+  json.Config("nodes", int64_t{kNodes});
+  json.Config("procs_per_node", int64_t{kProcs});
+  json.Config("grid_rows", int64_t{params.rows});
+  json.Config("grid_cols", int64_t{params.cols});
+  json.Config("sections", int64_t{params.sections});
+  json.Config("iterations", int64_t{params.max_iterations});
+  json.Config("seed", int64_t{kSeed});
+  json.Config("link_drop", plan.links[0].drop);
+  json.Config("link_duplicate", plan.links[0].duplicate);
+  json.Config("link_delay", plan.links[0].delay);
+  json.Config("crash_node", int64_t{plan.node_events[0].node});
+  json.Config("crash_at_ns", plan.node_events[0].crash_at);
+  json.Config("restart_at_ns", plan.node_events[0].restart_at);
+  const std::string path = json.Write(chaos.solve_time, &registry);
+  std::printf("\nwrote %s\n", path.c_str());
+
+  if (injector.drops() == 0 || chaos.grid_hash != clean.grid_hash) {
+    std::printf("chaos bench FAILED: no faults injected or wrong answer\n");
+    return 1;
+  }
+  return 0;
+}

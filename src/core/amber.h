@@ -78,9 +78,12 @@ void Delete(Ref<T> ref) {
 
 // --- Mobility (§2.3) -------------------------------------------------------
 
+// Returns Status::kOk in fault-free runs; under fault injection an
+// unreachable owner/destination is reported instead of hanging (the object
+// stays consistent at its source).
 template <typename T>
-void MoveTo(Ref<T> ref, NodeId node) {
-  Runtime::Current().MoveTo(ref.object(), node);
+Status MoveTo(Ref<T> ref, NodeId node) {
+  return Runtime::Current().MoveTo(ref.object(), node);
 }
 
 template <typename T>

@@ -48,15 +48,19 @@ constexpr int64_t kPerObjectMoveOverhead = 32;
 }  // namespace
 
 // Bridges the lower layers' observer interfaces (sim::SchedObserver,
-// rpc::TransportObserver) into the RuntimeObserver and metrics registry.
-// Allocated only while a sink is attached, so detached runs never construct
-// it and the kernel/transport hooks stay null.
-struct Runtime::Instrumentation : public sim::SchedObserver, public rpc::TransportObserver {
+// rpc::TransportObserver, fault::FaultSink) into the RuntimeObserver and
+// metrics registry. Allocated only while a sink is attached, so detached
+// runs never construct it and the kernel/transport hooks stay null.
+struct Runtime::Instrumentation : public sim::SchedObserver,
+                                  public rpc::TransportObserver,
+                                  public fault::FaultSink {
   explicit Instrumentation(Runtime* rt) : rt(rt) {}
 
   Runtime* rt;
   // depart time per in-flight rpc id (erased on response) for latency.
   std::unordered_map<uint64_t, Time> rpc_depart;
+  // ids that needed at least one retransmission (for rpc.retry.latency).
+  std::unordered_set<uint64_t> rpc_retried;
 
   // --- sim::SchedObserver ----------------------------------------------------
   void OnFiberCreate(Time when, sim::NodeId node, const sim::Fiber& f) override {
@@ -124,8 +128,87 @@ struct Runtime::Instrumentation : public sim::SchedObserver, public rpc::Transpo
         // Latency as seen by the requester (dst of the reply).
         rt->metrics_->GetHistogram("rpc.roundtrip.latency", dst)
             .Record(static_cast<double>(reply_arrive - it->second));
+        if (auto rit = rpc_retried.find(id); rit != rpc_retried.end()) {
+          // First-departure-to-reply latency of roundtrips that needed
+          // retransmission — the cost of riding out loss.
+          rt->metrics_->GetHistogram("rpc.retry.latency")
+              .Record(static_cast<double>(reply_arrive - it->second));
+          rpc_retried.erase(rit);
+        }
         rpc_depart.erase(it);
       }
+    }
+  }
+  void OnRpcRetry(Time when, rpc::NodeId src, rpc::NodeId dst, uint64_t id,
+                  int attempt) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnRpcRetry(when, src, dst, id, attempt);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("rpc.retries").Add();
+      rpc_retried.insert(id);
+    }
+  }
+  void OnRpcTimeout(Time when, rpc::NodeId src, rpc::NodeId dst, uint64_t id,
+                    int attempts) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnRpcTimeout(when, src, dst, id, attempts);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("rpc.timeouts").Add();
+      rpc_depart.erase(id);
+      rpc_retried.erase(id);
+    }
+  }
+  void OnRpcDuplicateSuppressed(Time /*when*/, rpc::NodeId /*node*/, uint64_t /*id*/) override {
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("rpc.dup_suppressed").Add();
+    }
+  }
+
+  // --- fault::FaultSink ------------------------------------------------------
+  void OnMessageDropped(Time when, fault::NodeId src, fault::NodeId dst, int64_t bytes,
+                        fault::DropReason reason) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnMessageDropped(when, src, dst, bytes, fault::DropReasonName(reason));
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("fault.drops", metrics::Registry::LinkLabel(src, dst)).Add();
+    }
+  }
+  void OnMessageDuplicated(Time when, fault::NodeId src, fault::NodeId dst,
+                           int64_t bytes) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnMessageDuplicated(when, src, dst, bytes);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("fault.dups", metrics::Registry::LinkLabel(src, dst)).Add();
+    }
+  }
+  void OnMessageDelayed(Time when, fault::NodeId src, fault::NodeId dst,
+                        Duration extra) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnMessageDelayed(when, src, dst, extra);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("fault.delays", metrics::Registry::LinkLabel(src, dst)).Add();
+      rt->metrics_->GetHistogram("fault.delay").Record(static_cast<double>(extra));
+    }
+  }
+  void OnNodeCrash(Time when, fault::NodeId node) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnNodeCrash(when, node);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("fault.node.crashes", node).Add();
+    }
+  }
+  void OnNodeRestart(Time when, fault::NodeId node) override {
+    if (rt->observer_ != nullptr) {
+      rt->observer_->OnNodeRestart(when, node);
+    }
+    if (rt->metrics_ != nullptr) {
+      rt->metrics_->GetCounter("fault.node.restarts", node).Add();
     }
   }
 };
@@ -258,10 +341,20 @@ void* Runtime::AllocateSegmentOnCurrentNode(size_t size) {
     sim_->Sync();
     region = region_server_->AcquireRegion(node);
   } else {
-    rpc_->Roundtrip(server, kControlBytes, [this, node, &region]() -> int64_t {
-      region = region_server_->AcquireRegion(node);
-      return kControlBytes;
-    });
+    for (int tries = 0;; ++tries) {
+      const rpc::RoundtripResult rr =
+          rpc_->Roundtrip(server, kControlBytes, [this, node, &region]() -> int64_t {
+            region = region_server_->AcquireRegion(node);
+            return kControlBytes;
+          });
+      if (rr.status == rpc::SendStatus::kOk) {
+        break;
+      }
+      // Fault-injected runs: the server may be crashed right now; keep
+      // retrying (it is fail-stop/restart) rather than hanging, with a cap
+      // so a permanently dead server is a detected failure.
+      AMBER_CHECK(tries < 16) << "address-space server on node " << server << " unreachable";
+    }
   }
   alloc.AddRegion(region);
   p = alloc.Allocate(size);
@@ -407,7 +500,7 @@ int64_t Runtime::ThreadPayloadBytes() const {
   return kThreadStateBytes + cost().thread_ship_stack_bytes;
 }
 
-void Runtime::TravelThread(NodeId dst, int64_t extra_bytes) {
+Status Runtime::TravelThread(NodeId dst, int64_t extra_bytes) {
   ThreadObject* t = current_thread();
   const NodeId src = here();
   AMBER_CHECK(dst != src);
@@ -417,20 +510,45 @@ void Runtime::TravelThread(NodeId dst, int64_t extra_bytes) {
   tables_[static_cast<size_t>(src)]->SetForward(t, dst);
   tables_[static_cast<size_t>(dst)]->SetResident(t);
   t->header_.owner = dst;
+  const int64_t payload = ThreadPayloadBytes() + extra_bytes;
+  const Time depart = sim_->Now();
+  if (!rpc_->reliability_enabled()) {
+    ++thread_migrations_;
+    migration_matrix_[static_cast<size_t>(src) * static_cast<size_t>(nodes()) +
+                      static_cast<size_t>(dst)] += 1;
+    if (observer_ != nullptr) {
+      observer_->OnThreadMigrate(depart, src, dst, t->name_, payload);
+    }
+    rpc_->Travel(dst, payload);
+    if (metrics_ != nullptr) {
+      // Departure decision to running again at dst (marshal + wire + dispatch).
+      metrics_->GetHistogram("amber.migration.latency").Record(static_cast<double>(sim_->Now() - depart));
+      metrics_->GetCounter("amber.migration.bytes").Add(payload);
+    }
+    return Status::kOk;
+  }
+  // Fault-injected run: the migration can fail (dst dead or partitioned away
+  // for the whole retransmission budget). The thread is still on src then —
+  // flip the descriptors back, leaving a correct dst->src hint in place of
+  // the speculative resident entry.
+  const rpc::TravelResult r = rpc_->Travel(dst, payload);
+  if (r.status != rpc::SendStatus::kOk) {
+    tables_[static_cast<size_t>(dst)]->SetForward(t, src);
+    tables_[static_cast<size_t>(src)]->SetResident(t);
+    t->header_.owner = src;
+    return Status::kUnreachable;
+  }
   ++thread_migrations_;
   migration_matrix_[static_cast<size_t>(src) * static_cast<size_t>(nodes()) +
                     static_cast<size_t>(dst)] += 1;
-  const int64_t payload = ThreadPayloadBytes() + extra_bytes;
-  const Time depart = sim_->Now();
   if (observer_ != nullptr) {
     observer_->OnThreadMigrate(depart, src, dst, t->name_, payload);
   }
-  rpc_->Travel(dst, payload);
   if (metrics_ != nullptr) {
-    // Departure decision to running again at dst (marshal + wire + dispatch).
     metrics_->GetHistogram("amber.migration.latency").Record(static_cast<double>(sim_->Now() - depart));
     metrics_->GetCounter("amber.migration.bytes").Add(payload);
   }
+  return Status::kOk;
 }
 
 void Runtime::EnsureResident(Object* obj, int64_t payload_bytes) {
@@ -446,9 +564,11 @@ void Runtime::EnsureResident(Object* obj, int64_t payload_bytes) {
     return;  // the outer resolution loop is already chasing
   }
   t->resolving_ = true;
+  const bool faulty = rpc_->reliability_enabled();
   // (node, stale hint) pairs visited on the way, for path compaction.
   std::vector<std::pair<NodeId, NodeId>> visited;
   int hops = 0;
+  int failures = 0;  // consecutive unreachable rounds (fault-injected runs)
   for (;;) {
     const NodeId cur = here();
     const Descriptor d = tables_[static_cast<size_t>(cur)]->Lookup(obj);
@@ -468,17 +588,37 @@ void Runtime::EnsureResident(Object* obj, int64_t payload_bytes) {
       // Immutable objects replicate to the reader instead of pulling the
       // reader to them (§2.3).
       AMBER_LOG(kTrace) << "EnsureResident: fetch replica of " << obj << " via " << target;
-      FetchReplica(obj, target);
+      if (FetchReplica(obj, target) != Status::kOk) {
+        HandleUnreachable(obj, target, ++failures);
+      }
       continue;
     }
     if (hops > 0) {
       ++forward_hops_;
     }
     ++hops;
-    AMBER_CHECK(hops <= 2 * nodes() + 4) << "forwarding chain did not terminate";
+    AMBER_CHECK(faulty || hops <= 2 * nodes() + 4) << "forwarding chain did not terminate";
     AMBER_LOG(kTrace) << "EnsureResident: chase " << obj << " " << cur << " -> " << target;
+    if (TravelThread(target, payload_bytes) != Status::kOk) {
+      // The hop target is unreachable (crashed or partitioned away). Repair
+      // the chain: probe the nodes that *are* reachable for the object and
+      // re-aim the local hint past the dead node. If nobody reachable holds
+      // it, the object itself is unavailable — failure contract.
+      const NodeId found = BroadcastLocate(obj);
+      if (found != kNoNode) {
+        if (found != target) {
+          AMBER_LOG(kTrace) << "EnsureResident: repair " << obj << " hint " << target << " -> "
+                            << found;
+          tables_[static_cast<size_t>(cur)]->SetForward(obj, found);
+        }
+        failures = 0;  // the object is reachable again; re-chase
+        continue;
+      }
+      HandleUnreachable(obj, target, ++failures);
+      continue;
+    }
+    failures = 0;
     visited.emplace_back(cur, target);
-    TravelThread(target, payload_bytes);
   }
   if (hops > 0 && metrics_ != nullptr) {
     metrics_->GetHistogram("amber.forward.chain").Record(static_cast<double>(hops));
@@ -529,17 +669,21 @@ NodeId Runtime::ResolveLocation(Object* obj) {
     bool found = false;
     NodeId next = kNoNode;
     const NodeId probe = target;
-    rpc_->Roundtrip(probe, kControlBytes, [this, obj, probe, &found, &next]() -> int64_t {
-      const Descriptor dd = tables_[static_cast<size_t>(probe)]->Lookup(obj);
-      if (dd.state == Residency::kResident) {
-        found = true;
-      } else if (dd.state == Residency::kRemoteHint) {
-        next = dd.forward;
-      } else {
-        next = gas_->HomeOf(obj);
-      }
-      return kControlBytes;
-    });
+    const rpc::RoundtripResult rr =
+        rpc_->Roundtrip(probe, kControlBytes, [this, obj, probe, &found, &next]() -> int64_t {
+          const Descriptor dd = tables_[static_cast<size_t>(probe)]->Lookup(obj);
+          if (dd.state == Residency::kResident) {
+            found = true;
+          } else if (dd.state == Residency::kRemoteHint) {
+            next = dd.forward;
+          } else {
+            next = gas_->HomeOf(obj);
+          }
+          return kControlBytes;
+        });
+    if (rr.status != rpc::SendStatus::kOk) {
+      return kNoNode;  // probe unreachable (fault-injected runs only)
+    }
     if (found) {
       break;
     }
@@ -556,7 +700,55 @@ NodeId Runtime::ResolveLocation(Object* obj) {
   return target;
 }
 
-void Runtime::FetchReplica(Object* obj, NodeId from) {
+NodeId Runtime::BroadcastLocate(Object* obj) {
+  const NodeId cur = here();
+  if (tables_[static_cast<size_t>(cur)]->IsResident(obj)) {
+    return cur;
+  }
+  for (NodeId n = 0; n < nodes(); ++n) {
+    if (n == cur) {
+      continue;
+    }
+    // The injector is the perfect-failure-detector oracle: skip nodes that
+    // cannot answer instead of burning a full retransmission budget each.
+    if (injector_ != nullptr && !injector_->Reachable(cur, n, sim_->Now())) {
+      continue;
+    }
+    bool resident = false;
+    const rpc::RoundtripResult rr =
+        rpc_->Roundtrip(n, kControlBytes, [this, obj, n, &resident]() -> int64_t {
+          resident = tables_[static_cast<size_t>(n)]->IsResident(obj);
+          return kControlBytes;
+        });
+    if (rr.status == rpc::SendStatus::kOk && resident) {
+      return n;
+    }
+  }
+  return kNoNode;
+}
+
+void Runtime::HandleUnreachable(const Object* obj, NodeId node, int attempts) {
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("fault.unreachable").Add();
+  }
+  FailureAction action = FailureAction::kAbort;
+  if (failure_handler_) {
+    action = failure_handler_(FailureEvent{Status::kUnreachable, obj, node, attempts});
+  }
+  if (action == FailureAction::kAbort) {
+    AMBER_CHECK(false) << "object " << obj << " unreachable: node " << node
+                  << " is down or partitioned away (after " << attempts
+                  << " repair rounds); install a FailureHandler to retry";
+  }
+  // kRetry: back off one retransmission-timeout before re-probing, so a
+  // crashed node gets a chance to restart (or a partition to heal).
+  sim::Fiber* self = sim_->current();
+  const Time resume = sim_->Now() + rpc_->retry_policy().timeout_cap;
+  sim_->Post(resume, [this, self] { sim_->Wake(self, sim_->Now()); });
+  sim_->Block();
+}
+
+Status Runtime::FetchReplica(Object* obj, NodeId from) {
   const NodeId cur = here();
   if (metrics_ != nullptr) {
     metrics_->GetCounter("amber.replica.fetches").Add();
@@ -570,16 +762,21 @@ void Runtime::FetchReplica(Object* obj, NodeId from) {
     bool found = false;
     NodeId next = kNoNode;
     const NodeId probe = target;
-    rpc_->Roundtrip(probe, kControlBytes,
-                    [this, obj, probe, obj_bytes, &found, &next]() -> int64_t {
-                      const Descriptor dd = tables_[static_cast<size_t>(probe)]->Lookup(obj);
-                      if (dd.state == Residency::kResident || dd.state == Residency::kReplica) {
-                        found = true;
-                        return kControlBytes + obj_bytes;  // reply carries the object
-                      }
-                      next = dd.state == Residency::kRemoteHint ? dd.forward : gas_->HomeOf(obj);
-                      return kControlBytes;
-                    });
+    const rpc::RoundtripResult rr =
+        rpc_->Roundtrip(probe, kControlBytes,
+                        [this, obj, probe, obj_bytes, &found, &next]() -> int64_t {
+                          const Descriptor dd = tables_[static_cast<size_t>(probe)]->Lookup(obj);
+                          if (dd.state == Residency::kResident || dd.state == Residency::kReplica) {
+                            found = true;
+                            return kControlBytes + obj_bytes;  // reply carries the object
+                          }
+                          next = dd.state == Residency::kRemoteHint ? dd.forward
+                                                                    : gas_->HomeOf(obj);
+                          return kControlBytes;
+                        });
+    if (rr.status != rpc::SendStatus::kOk) {
+      return Status::kUnreachable;  // holder unreachable (fault-injected runs)
+    }
     if (found) {
       break;
     }
@@ -602,6 +799,7 @@ void Runtime::FetchReplica(Object* obj, NodeId from) {
       observer_->OnReplicaInstall(sim_->Now(), obj, cur);
     }
   }
+  return Status::kOk;
 }
 
 // --- Mobility -----------------------------------------------------------------------
@@ -646,7 +844,7 @@ uint64_t Runtime::SerializeClosure(const std::vector<Object*>& closure) {
   return wb.Checksum();
 }
 
-void Runtime::MoveTo(Object* obj, NodeId dst) {
+Status Runtime::MoveTo(Object* obj, NodeId dst) {
   AMBER_CHECK(obj != nullptr);
   AMBER_CHECK(dst >= 0 && dst < nodes());
   obj = obj->AmberPrimary();
@@ -659,28 +857,44 @@ void Runtime::MoveTo(Object* obj, NodeId dst) {
   if (h.IsImmutable()) {
     // §2.3: "Invoking MoveTo on an immutable object causes the object to be
     // copied rather than moved."
-    ReplicateTo(obj, dst);
-    return;
+    return ReplicateTo(obj, dst);
   }
 
+  const bool faulty = rpc_->reliability_enabled();
   for (int attempt = 0;; ++attempt) {
+    if (faulty && attempt > 2 * nodes() + 4) {
+      // The mover lost every race (or the object keeps dodging through a
+      // flaky cluster). Typed give-up instead of a panic: the object is
+      // still consistent wherever it is.
+      return Status::kTimeout;
+    }
     AMBER_CHECK(attempt <= 2 * nodes() + 4) << "move could not catch the object";
     AMBER_LOG(kTrace) << "MoveTo: attempt " << attempt << " obj " << obj << " dst " << dst;
     const NodeId owner = ResolveLocation(obj);
+    if (owner == kNoNode) {
+      return Status::kUnreachable;  // fault-injected runs only
+    }
     if (owner == dst) {
-      return;
+      return Status::kOk;
+    }
+    if (faulty && !sim_->NodeUp(dst)) {
+      return Status::kUnreachable;  // destination is down right now
     }
     if (owner == here()) {
-      MoveOutLocal(obj, dst);
-      return;
+      return MoveOutLocal(obj, dst);
     }
-    if (RequestRemoteMove(obj, owner, dst)) {
-      return;
+    bool accepted = false;
+    const Status s = RequestRemoteMove(obj, owner, dst, &accepted);
+    if (s != Status::kOk) {
+      return s;
+    }
+    if (accepted) {
+      return Status::kOk;
     }
   }
 }
 
-void Runtime::MoveOutLocal(Object* obj, NodeId dst) {
+Status Runtime::MoveOutLocal(Object* obj, NodeId dst) {
   const NodeId src = here();
   const Time move_start = metrics_ != nullptr ? sim_->Now() : 0;
   std::vector<Object*> closure;
@@ -695,10 +909,33 @@ void Runtime::MoveOutLocal(Object* obj, NodeId dst) {
   // SendBulk charges this thread for marshalling the payload, then occupies
   // the wire; install completes after the destination's install cost.
   sim::Fiber* self = sim_->current();
-  const Time arrive = rpc_->SendBulk(dst, total, nullptr);
-  const Time installed = arrive + cost().move_install;
-  sim_->Wake(self, installed);
-  sim_->Block();
+  if (rpc_->reliability_enabled()) {
+    const net::TxResult tx = rpc_->SendBulkTracked(dst, total, nullptr);
+    if (!tx.delivered) {
+      // The transfer was lost (destination crashed or link cut). Restore the
+      // closure at the source — the speculative resident entries at dst
+      // become correct dst->src hints — and surface the detection latency as
+      // one retransmission-timeout of blocking (the bulk protocol's ack
+      // timer).
+      for (Object* o : closure) {
+        tables_[static_cast<size_t>(dst)]->SetForward(o, src);
+        tables_[static_cast<size_t>(src)]->SetResident(o);
+        o->header_.owner = src;
+      }
+      const Time give_up = sim_->Now() + rpc_->retry_policy().timeout;
+      sim_->Post(give_up, [this, self] { sim_->Wake(self, sim_->Now()); });
+      sim_->Block();
+      return Status::kUnreachable;
+    }
+    const Time installed = tx.arrival + cost().move_install;
+    sim_->Wake(self, installed);
+    sim_->Block();
+  } else {
+    const Time arrive = rpc_->SendBulk(dst, total, nullptr);
+    const Time installed = arrive + cost().move_install;
+    sim_->Wake(self, installed);
+    sim_->Block();
+  }
   ++objects_moved_;
   if (observer_ != nullptr) {
     observer_->OnObjectMove(sim_->Now(), obj, src, dst, total);
@@ -707,15 +944,63 @@ void Runtime::MoveOutLocal(Object* obj, NodeId dst) {
     metrics_->GetHistogram("amber.move.latency").Record(static_cast<double>(sim_->Now() - move_start));
     metrics_->GetCounter("amber.move.bytes").Add(total);
   }
+  return Status::kOk;
 }
 
-bool Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst) {
+Status Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst, bool* accepted_out) {
   const NodeId cur = here();
   AMBER_CHECK(owner != cur);
   sim::Fiber* self = sim_->current();
   const Time move_start = metrics_ != nullptr ? sim_->Now() : 0;
   int64_t moved_bytes = 0;
   bool accepted = false;
+  if (rpc_->reliability_enabled()) {
+    // Fault-injected run: the whole exchange rides the reliable roundtrip
+    // (the control request or its ack can be lost). The owner-side bulk
+    // transfer is tracked; a lost transfer reverts the move at the owner and
+    // NACKs, so the requester re-resolves — the source's ack timeout is
+    // folded into the control reply (oracle shortcut, see docs/FAULTS.md).
+    const rpc::RoundtripResult rr = rpc_->Roundtrip(
+        owner, kControlBytes, [this, obj, owner, dst, &accepted, &moved_bytes]() -> int64_t {
+          if (!tables_[static_cast<size_t>(owner)]->IsResident(obj)) {
+            return kControlBytes;  // the object moved on; NACK
+          }
+          std::vector<Object*> closure;
+          CollectClosure(obj, &closure);
+          const int64_t total = FlipDescriptorsForMove(closure, owner, dst);
+          sim_->RequestPreempt(owner);
+          SerializeClosure(closure);
+          const Time depart = sim_->Now() + cost().move_setup + cost().MarshalCost(total) +
+                              cost().rpc_send_software;
+          const net::TxResult tx = net_->SendBulkTracked(owner, dst, total, depart, nullptr);
+          if (!tx.delivered) {
+            // Transfer lost: the object never left. Flip back.
+            for (Object* o : closure) {
+              tables_[static_cast<size_t>(dst)]->SetForward(o, owner);
+              tables_[static_cast<size_t>(owner)]->SetResident(o);
+              o->header_.owner = owner;
+            }
+            return kControlBytes;
+          }
+          accepted = true;
+          moved_bytes = total;
+          ++objects_moved_;
+          if (observer_ != nullptr) {
+            observer_->OnObjectMove(sim_->Now(), obj, owner, dst, total);
+          }
+          return kControlBytes;
+        });
+    if (rr.status != rpc::SendStatus::kOk) {
+      *accepted_out = false;
+      return Status::kUnreachable;  // owner unreachable
+    }
+    if (accepted && metrics_ != nullptr) {
+      metrics_->GetHistogram("amber.move.latency").Record(static_cast<double>(sim_->Now() - move_start));
+      metrics_->GetCounter("amber.move.bytes").Add(moved_bytes);
+    }
+    *accepted_out = accepted;
+    return Status::kOk;
+  }
   // Charge the request like any control send, then run the source side of
   // the move at the owner (event context, latency model), then block until
   // the destination's install acknowledgement.
@@ -756,20 +1041,44 @@ bool Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst) {
     metrics_->GetHistogram("amber.move.latency").Record(static_cast<double>(sim_->Now() - move_start));
     metrics_->GetCounter("amber.move.bytes").Add(moved_bytes);
   }
-  return accepted;
+  *accepted_out = accepted;
+  return Status::kOk;
 }
 
-void Runtime::ReplicateTo(Object* obj, NodeId dst) {
+Status Runtime::ReplicateTo(Object* obj, NodeId dst) {
   if (tables_[static_cast<size_t>(dst)]->Lookup(obj).state != Residency::kUninitialized) {
-    return;  // dst already holds the object or a replica
+    return Status::kOk;  // dst already holds the object or a replica
   }
   const NodeId cur = here();
   const int64_t obj_bytes = static_cast<int64_t>(obj->header_.size);
   sim::Fiber* self = sim_->current();
+  const bool faulty = rpc_->reliability_enabled();
+  if (faulty && !sim_->NodeUp(dst)) {
+    return Status::kUnreachable;
+  }
   if (tables_[static_cast<size_t>(cur)]->Lookup(obj).state != Residency::kUninitialized &&
       dst != cur) {
     // We hold the bytes: bulk-copy them to dst and install a replica.
     SerializeClosure({obj});
+    if (faulty) {
+      const net::TxResult tx = rpc_->SendBulkTracked(dst, obj_bytes, nullptr);
+      if (!tx.delivered) {
+        // Copy lost; dst never saw it. Ride out the ack timeout, report.
+        const Time give_up = sim_->Now() + rpc_->retry_policy().timeout;
+        sim_->Post(give_up, [this, self] { sim_->Wake(self, sim_->Now()); });
+        sim_->Block();
+        return Status::kUnreachable;
+      }
+      const Time installed = tx.arrival + cost().move_install;
+      tables_[static_cast<size_t>(dst)]->SetReplica(obj);
+      ++replicas_installed_;
+      if (observer_ != nullptr) {
+        observer_->OnReplicaInstall(installed, obj, dst);
+      }
+      sim_->Wake(self, installed);
+      sim_->Block();
+      return Status::kOk;
+    }
     const Time arrive = rpc_->SendBulk(dst, obj_bytes, nullptr);
     const Time installed = arrive + cost().move_install;
     tables_[static_cast<size_t>(dst)]->SetReplica(obj);
@@ -779,12 +1088,41 @@ void Runtime::ReplicateTo(Object* obj, NodeId dst) {
     }
     sim_->Wake(self, installed);
     sim_->Block();
-    return;
+    return Status::kOk;
   }
   // Find a holder, then have it copy to dst.
   const NodeId holder = ResolveLocation(obj);
+  if (holder == kNoNode) {
+    return Status::kUnreachable;  // fault-injected runs only
+  }
   if (holder == dst) {
-    return;
+    return Status::kOk;
+  }
+  if (faulty) {
+    // Reliable control roundtrip to the holder; the holder-side copy to dst
+    // is tracked and only installs the replica when it actually arrives.
+    bool installed_ok = false;
+    const rpc::RoundtripResult rr = rpc_->Roundtrip(
+        holder, kControlBytes, [this, obj, holder, dst, obj_bytes, &installed_ok]() -> int64_t {
+          SerializeClosure({obj});
+          const Time depart =
+              sim_->Now() + cost().MarshalCost(obj_bytes) + cost().rpc_send_software;
+          const net::TxResult tx = net_->SendBulkTracked(holder, dst, obj_bytes, depart, nullptr);
+          if (tx.delivered) {
+            const Time installed = tx.arrival + cost().move_install;
+            tables_[static_cast<size_t>(dst)]->SetReplica(obj);
+            ++replicas_installed_;
+            installed_ok = true;
+            if (observer_ != nullptr) {
+              observer_->OnReplicaInstall(installed, obj, dst);
+            }
+          }
+          return kControlBytes;
+        });
+    if (rr.status != rpc::SendStatus::kOk) {
+      return Status::kUnreachable;
+    }
+    return installed_ok ? Status::kOk : Status::kUnreachable;
   }
   sim_->Charge(cost().MarshalCost(kControlBytes) + cost().rpc_send_software);
   sim_->Sync();
@@ -807,6 +1145,7 @@ void Runtime::ReplicateTo(Object* obj, NodeId dst) {
     }
   });
   sim_->Block();
+  return Status::kOk;
 }
 
 NodeId Runtime::Locate(Object* obj) {
@@ -837,8 +1176,9 @@ void Runtime::Attach(Object* child, Object* parent) {
   sim_->Sync();
   // Attachment guarantees co-location (§2.3): bring the child to the parent.
   const NodeId p = ResolveLocation(parent);
+  AMBER_CHECK(p != kNoNode) << "attach: parent unreachable";
   if (ResolveLocation(child) != p) {
-    MoveTo(child, p);
+    AMBER_CHECK(MoveTo(child, p) == Status::kOk) << "attach: child could not reach parent";
   }
   sim_->Sync();
   child->header_.attach_parent = parent;
@@ -954,6 +1294,16 @@ void Runtime::SetMetrics(metrics::Registry* registry) {
   UpdateInstrumentation();
 }
 
+void Runtime::SetFaultInjector(fault::Injector* injector) {
+  AMBER_CHECK(!ran_) << "attach the fault injector before Run()";
+  AMBER_CHECK(injector_ == nullptr || injector == nullptr) << "fault injector already attached";
+  injector_ = injector;
+  if (injector_ != nullptr) {
+    injector_->Attach(sim_.get(), net_.get(), rpc_.get());
+  }
+  UpdateInstrumentation();
+}
+
 void Runtime::UpdateInstrumentation() {
   const bool on = observer_ != nullptr || metrics_ != nullptr;
   if (on && instr_ == nullptr) {
@@ -961,6 +1311,9 @@ void Runtime::UpdateInstrumentation() {
   }
   sim_->SetSchedObserver(on ? instr_.get() : nullptr);
   rpc_->SetObserver(on ? instr_.get() : nullptr);
+  if (injector_ != nullptr) {
+    injector_->SetSink(on ? instr_.get() : nullptr);
+  }
   if (on) {
     net_->SetMessageObserver(
         [this](Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) {

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "src/base/time.h"
+#include "src/core/status.h"
+#include "src/fault/fault.h"
 #include "src/kernel/descriptor_table.h"
 #include "src/mem/address_space.h"
 #include "src/mem/region_server.h"
@@ -93,7 +95,39 @@ class RuntimeObserver {
   virtual void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) {}
   virtual void OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
                              uint64_t id) {}
+
+  // --- Fault events (emitted only in fault-injected runs) --------------------
+  // `reason` is one of "lossy", "partition", "node_down".
+  virtual void OnMessageDropped(Time when, NodeId src, NodeId dst, int64_t bytes,
+                                const char* reason) {}
+  virtual void OnMessageDuplicated(Time when, NodeId src, NodeId dst, int64_t bytes) {}
+  virtual void OnMessageDelayed(Time when, NodeId src, NodeId dst, Duration extra) {}
+  virtual void OnNodeCrash(Time when, NodeId node) {}
+  virtual void OnNodeRestart(Time when, NodeId node) {}
+  // `attempt` is the 1-based retransmission count of rpc `id`.
+  virtual void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt) {}
+  virtual void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts) {}
 };
+
+// --- Failure-aware semantics ---------------------------------------------------
+//
+// When an invocation (or a context-switch-in residency check) cannot reach
+// the target object — its node crashed, or a partition outlived the whole
+// retransmission budget — the runtime consults the failure handler instead
+// of hanging. kRetry backs off and re-chases (the node may restart or the
+// partition heal); kAbort (or no handler installed) panics with a typed
+// diagnosis — a *detected* fail-stop, never a silent hang.
+
+enum class FailureAction : uint8_t { kAbort, kRetry };
+
+struct FailureEvent {
+  Status status = Status::kUnreachable;
+  const void* object = nullptr;  // the object being chased (may be null)
+  NodeId node = -1;              // the unreachable node
+  int attempts = 0;              // consecutive failed repair rounds
+};
+
+using FailureHandler = std::function<FailureAction(const FailureEvent&)>;
 
 // An invocation-stack frame: user code in this frame runs inside `object`
 // (the primary), so the thread is *bound* to it (§3.5) until the frame pops.
@@ -164,8 +198,11 @@ class Runtime {
 
   // Moves obj (and its attachment closure, and lazily its bound threads) to
   // dst. Synchronous: returns when the object is installed. Moving an
-  // immutable object installs a copy at dst instead (§2.3).
-  void MoveTo(Object* obj, NodeId dst);
+  // immutable object installs a copy at dst instead (§2.3). Always kOk in
+  // fault-free runs; under fault injection an unreachable owner or
+  // destination surfaces as kUnreachable/kTimeout with the object left
+  // consistent at its source.
+  Status MoveTo(Object* obj, NodeId dst);
 
   // Current location of obj (follows and compacts the forwarding chain).
   NodeId Locate(Object* obj);
@@ -206,6 +243,17 @@ class Runtime {
   // detaches. With no registry attached the hot paths are untouched.
   void SetMetrics(metrics::Registry* registry);
   metrics::Registry* metrics() const { return metrics_; }
+
+  // Attaches a fault injector: hooks the network/kernel/transport and routes
+  // fault events into the observer bus and the fault.* metrics. Call before
+  // Run(); an injector with an empty plan changes nothing (every output stays
+  // byte-identical). The injector must outlive the runtime.
+  void SetFaultInjector(fault::Injector* injector);
+  fault::Injector* fault_injector() const { return injector_; }
+
+  // Installs the failure handler consulted when an object is unreachable
+  // (see FailureHandler above). Default: none — unreachability panics.
+  void SetFailureHandler(FailureHandler handler) { failure_handler_ = std::move(handler); }
 
   // True when an observer or metrics registry is attached; instrumentation
   // call sites outside the runtime (core/sync) gate on this.
@@ -276,28 +324,44 @@ class Runtime {
   };
 
   // Makes the calling thread co-resident with obj, following the forwarding
-  // chain with thread hops (mutable) or replica fetches (immutable).
+  // chain with thread hops (mutable) or replica fetches (immutable). Under
+  // fault injection a hop into a dead node triggers chain repair (probe the
+  // reachable nodes, re-aim the hint) and, when the object itself is
+  // unreachable, the failure-handler contract.
   void EnsureResident(Object* obj, int64_t payload_bytes);
 
   // Resolves obj's current location with control-message roundtrips from the
   // current node, compacting stale hints along the way. Does not move the
-  // calling thread.
+  // calling thread. Returns kNoNode when the chain runs through an
+  // unreachable node (fault-injected runs only).
   NodeId ResolveLocation(Object* obj);
+
+  // Probes every reachable node for a Resident descriptor of obj — the
+  // forwarding-chain repair path when a hint routes through a dead node.
+  // Returns kNoNode if no reachable node holds the object right now.
+  NodeId BroadcastLocate(Object* obj);
+
+  // Consults the failure handler (see SetFailureHandler); panics on kAbort
+  // or when none is installed. Returns only with kRetry, after backoff.
+  void HandleUnreachable(const Object* obj, NodeId node, int attempts);
 
   // Fetches a replica of immutable obj from `from` (following the chain with
   // further roundtrips if stale) and installs it locally.
-  void FetchReplica(Object* obj, NodeId from);
+  Status FetchReplica(Object* obj, NodeId from);
 
   // Migrates the calling thread to dst carrying its state + extra payload.
-  void TravelThread(NodeId dst, int64_t extra_bytes);
+  // kUnreachable means the thread never left (descriptors reverted).
+  Status TravelThread(NodeId dst, int64_t extra_bytes);
 
-  // Executes the source side of a move at the owner == current node.
-  void MoveOutLocal(Object* obj, NodeId dst);
+  // Executes the source side of a move at the owner == current node. On
+  // failure the closure is reverted to the source.
+  Status MoveOutLocal(Object* obj, NodeId dst);
   // Asks `owner` to move obj to dst (source side runs there in event
-  // context, latency model). Returns false if the object had moved on.
-  bool RequestRemoteMove(Object* obj, NodeId owner, NodeId dst);
+  // context, latency model). *accepted=false with kOk means the object had
+  // moved on and the caller should re-resolve.
+  Status RequestRemoteMove(Object* obj, NodeId owner, NodeId dst, bool* accepted);
   // Installs a replica of immutable obj at dst (MoveTo-on-immutable, §2.3).
-  void ReplicateTo(Object* obj, NodeId dst);
+  Status ReplicateTo(Object* obj, NodeId dst);
   // Entry wrapper for every thread fiber: root frame, body, joiner wakeup.
   void ThreadMain(ThreadObject* t);
 
@@ -348,6 +412,8 @@ class Runtime {
   std::vector<int64_t> migration_matrix_;  // nodes x nodes, row = source
   RuntimeObserver* observer_ = nullptr;
   metrics::Registry* metrics_ = nullptr;
+  fault::Injector* injector_ = nullptr;
+  FailureHandler failure_handler_;
   // Bridges sim::SchedObserver / rpc::TransportObserver callbacks into the
   // RuntimeObserver + registry; allocated on demand (see runtime.cc).
   struct Instrumentation;

@@ -1,0 +1,38 @@
+// Typed outcomes for failure-aware runtime operations.
+//
+// The original Amber assumed a reliable LAN and crash-free nodes; every
+// operation either succeeded or the whole machine was wedged. Under fault
+// injection (src/fault) that assumption breaks, so operations that can
+// encounter an unreachable node report a Status instead of hanging:
+//   * kTimeout     — the retransmission budget was exhausted talking to a
+//                    peer (lossy link or transient partition);
+//   * kUnreachable — the target node is known-dead or partitioned away and
+//                    the operation could not complete.
+// In fault-free runs every operation returns kOk and no code path changes.
+
+#ifndef AMBER_SRC_CORE_STATUS_H_
+#define AMBER_SRC_CORE_STATUS_H_
+
+#include <cstdint>
+
+namespace amber {
+
+enum class Status : uint8_t { kOk, kTimeout, kUnreachable };
+
+inline const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kTimeout:
+      return "timeout";
+    case Status::kUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
+inline bool ok(Status s) { return s == Status::kOk; }
+
+}  // namespace amber
+
+#endif  // AMBER_SRC_CORE_STATUS_H_

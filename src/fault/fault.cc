@@ -1,0 +1,129 @@
+#include "src/fault/fault.h"
+
+#include "src/base/panic.h"
+
+namespace fault {
+
+const char* DropReasonName(DropReason r) {
+  switch (r) {
+    case DropReason::kLossy:
+      return "lossy";
+    case DropReason::kPartition:
+      return "partition";
+    case DropReason::kNodeDown:
+      return "node_down";
+  }
+  return "?";
+}
+
+void Injector::Attach(sim::Kernel* kernel, net::Network* net, rpc::Transport* rpc) {
+  AMBER_CHECK(kernel_ == nullptr) << "fault injector attached twice";
+  if (!active()) {
+    return;  // empty plan: leave every hook untouched (byte-identity contract)
+  }
+  kernel_ = kernel;
+  net->SetFaultFilter(this);
+  rpc->EnableReliability(true);
+  for (const NodeEvent& e : plan_.node_events) {
+    AMBER_CHECK(e.node >= 0 && e.node < kernel->nodes())
+        << "fault plan crashes unknown node " << e.node;
+    AMBER_CHECK(e.restart_at < 0 || e.restart_at > e.crash_at)
+        << "node " << e.node << " restart at " << e.restart_at << " not after crash at "
+        << e.crash_at;
+    kernel->Post(e.crash_at, [this, node = e.node] {
+      kernel_->SetNodeUp(node, false);
+      ++crashes_;
+      if (sink_ != nullptr) {
+        sink_->OnNodeCrash(kernel_->Now(), node);
+      }
+    });
+    if (e.restart_at >= 0) {
+      kernel->Post(e.restart_at, [this, node = e.node] {
+        kernel_->SetNodeUp(node, true);
+        ++restarts_;
+        if (sink_ != nullptr) {
+          sink_->OnNodeRestart(kernel_->Now(), node);
+        }
+      });
+    }
+  }
+}
+
+bool Injector::NodeUp(NodeId node) const {
+  return kernel_ == nullptr || kernel_->NodeUp(node);
+}
+
+bool Injector::Partitioned(NodeId src, NodeId dst, Time at) const {
+  for (const Partition& p : plan_.partitions) {
+    if (at < p.from || at >= p.until) {
+      continue;
+    }
+    const bool fwd = (p.a == kAnyNode || p.a == src) && (p.b == kAnyNode || p.b == dst);
+    const bool rev = (p.a == kAnyNode || p.a == dst) && (p.b == kAnyNode || p.b == src);
+    if (fwd || rev) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Injector::Reachable(NodeId src, NodeId dst, Time at) const {
+  return NodeUp(src) && NodeUp(dst) && !Partitioned(src, dst, at);
+}
+
+const LinkRule* Injector::MatchRule(NodeId src, NodeId dst) const {
+  for (const LinkRule& r : plan_.links) {
+    if ((r.src == kAnyNode || r.src == src) && (r.dst == kAnyNode || r.dst == dst)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+net::FaultDecision Injector::OnTransmit(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                                        bool bulk) {
+  net::FaultDecision fd;
+  // Fail-stop crashes and partitions are deterministic total loss; they are
+  // checked before the probabilistic rules so they consume no RNG draws.
+  DropReason reason;
+  if (!NodeUp(src) || !NodeUp(dst)) {
+    fd.action = net::FaultAction::kDrop;
+    reason = DropReason::kNodeDown;
+  } else if (Partitioned(src, dst, depart)) {
+    fd.action = net::FaultAction::kDrop;
+    reason = DropReason::kPartition;
+  } else if (const LinkRule* r = MatchRule(src, dst); r != nullptr) {
+    // Draws happen in a fixed order (drop, duplicate, delay) and only when
+    // the corresponding probability is nonzero, so the stream of random
+    // numbers is a pure function of the traffic sequence.
+    if (r->drop > 0 && rng_.NextDouble() < r->drop) {
+      fd.action = net::FaultAction::kDrop;
+      reason = DropReason::kLossy;
+    } else {
+      if (r->duplicate > 0 && rng_.NextDouble() < r->duplicate) {
+        fd.action = net::FaultAction::kDuplicate;
+        ++duplicates_;
+        if (sink_ != nullptr) {
+          sink_->OnMessageDuplicated(depart, src, dst, bytes);
+        }
+      }
+      if (r->delay > 0 && rng_.NextDouble() < r->delay) {
+        fd.extra_delay = rng_.Range(r->delay_min, r->delay_max);
+        ++delays_;
+        if (sink_ != nullptr) {
+          sink_->OnMessageDelayed(depart, src, dst, fd.extra_delay);
+        }
+      }
+    }
+  }
+  if (fd.action == net::FaultAction::kDrop) {
+    ++drops_;
+    if (sink_ != nullptr) {
+      sink_->OnMessageDropped(depart, src, dst, bytes, reason);
+    }
+  }
+  (void)bulk;  // bulk transfers degrade kDuplicate to kDeliver in the network
+  return fd;
+}
+
+}  // namespace fault

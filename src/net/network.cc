@@ -17,30 +17,94 @@ Time Network::AcquireChannel(NodeId src, NodeId dst, Time ready, Duration wire) 
   return start;
 }
 
-Time Network::Send(NodeId src, NodeId dst, int64_t bytes, Time depart,
-                   std::function<void()> deliver) {
-  AMBER_DCHECK(bytes >= 0);
-  AMBER_DCHECK(src != dst) << "network send to self";
-  const sim::CostModel& cost = kernel_->cost();
-  const Duration wire = cost.WireTime(bytes);
-  const Time start = AcquireChannel(src, dst, depart, wire);
-  const Time arrival = start + wire + cost.propagation + cost.rpc_recv_software;
+TxResult Network::Loopback(NodeId node, int64_t bytes, Time depart,
+                           std::function<void()> deliver) {
+  // A send to self never touches the medium: zero wire occupancy, no
+  // propagation, no channel reservation. Only the receive software path is
+  // paid (the message still traverses the local protocol stack). Fault
+  // filters are not consulted — there is no wire to be lossy.
+  const Time arrival = depart + kernel_->cost().rpc_recv_software;
   messages_.Add();
   bytes_.Add(bytes);
   fragments_.Add();
   if (on_message_) {
-    on_message_(depart, arrival, src, dst, bytes);
+    on_message_(depart, arrival, node, node, bytes);
   }
   if (deliver) {
     kernel_->Post(arrival, std::move(deliver));
   }
-  return arrival;
+  return TxResult{arrival, true};
+}
+
+Time Network::Send(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                   std::function<void()> deliver) {
+  return SendTracked(src, dst, bytes, depart, std::move(deliver)).arrival;
+}
+
+TxResult Network::SendTracked(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                              std::function<void()> deliver) {
+  AMBER_DCHECK(bytes >= 0);
+  if (src == dst) {
+    return Loopback(src, bytes, depart, std::move(deliver));
+  }
+  FaultDecision fd;
+  if (fault_ != nullptr) {
+    fd = fault_->OnTransmit(src, dst, bytes, depart, /*bulk=*/false);
+  }
+  const sim::CostModel& cost = kernel_->cost();
+  const Duration wire = cost.WireTime(bytes);
+  const Time start = AcquireChannel(src, dst, depart, wire);
+  const Time arrival = start + wire + cost.propagation + cost.rpc_recv_software + fd.extra_delay;
+  messages_.Add();
+  bytes_.Add(bytes);
+  fragments_.Add();
+  const bool delivered = fd.action != FaultAction::kDrop;
+  if (delivered) {
+    if (on_message_) {
+      on_message_(depart, arrival, src, dst, bytes);
+    }
+    if (deliver) {
+      kernel_->Post(arrival, deliver);
+    }
+  }
+  if (fd.action == FaultAction::kDuplicate) {
+    // A second identical frame goes out back-to-back on the medium and is
+    // delivered independently (receivers must suppress duplicates).
+    const Time start2 = AcquireChannel(src, dst, start + wire, wire);
+    const Time arrival2 =
+        start2 + wire + cost.propagation + cost.rpc_recv_software + fd.extra_delay;
+    messages_.Add();
+    bytes_.Add(bytes);
+    fragments_.Add();
+    if (on_message_) {
+      on_message_(depart, arrival2, src, dst, bytes);
+    }
+    if (deliver) {
+      kernel_->Post(arrival2, deliver);
+    }
+  }
+  return TxResult{arrival, delivered};
 }
 
 Time Network::SendBulk(NodeId src, NodeId dst, int64_t bytes, Time depart,
                        std::function<void()> deliver) {
+  return SendBulkTracked(src, dst, bytes, depart, std::move(deliver)).arrival;
+}
+
+TxResult Network::SendBulkTracked(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                                  std::function<void()> deliver) {
   AMBER_DCHECK(bytes >= 0);
-  AMBER_DCHECK(src != dst) << "network send to self";
+  if (src == dst) {
+    return Loopback(src, bytes, depart, std::move(deliver));
+  }
+  // Faults apply to the transfer as a unit: the bulk protocol numbers its
+  // fragments, so a duplicated fragment is suppressed below the delivery
+  // callback (kDuplicate degrades to kDeliver) and a lost fragment kills
+  // the whole transfer (kDrop).
+  FaultDecision fd;
+  if (fault_ != nullptr) {
+    fd = fault_->OnTransmit(src, dst, bytes, depart, /*bulk=*/true);
+  }
   const sim::CostModel& cost = kernel_->cost();
   const int64_t frags = cost.Fragments(bytes);
   Time ready = depart;
@@ -56,17 +120,20 @@ Time Network::SendBulk(NodeId src, NodeId dst, int64_t bytes, Time depart,
     ready = start + wire + cost.per_fragment_overhead;
     last_delivery = start + wire + cost.propagation;
   }
-  const Time arrival = last_delivery + cost.rpc_recv_software;
+  const Time arrival = last_delivery + cost.rpc_recv_software + fd.extra_delay;
   messages_.Add();
   bytes_.Add(bytes);
   fragments_.Add(frags);
-  if (on_message_) {
-    on_message_(depart, arrival, src, dst, bytes);
+  const bool delivered = fd.action != FaultAction::kDrop;
+  if (delivered) {
+    if (on_message_) {
+      on_message_(depart, arrival, src, dst, bytes);
+    }
+    if (deliver) {
+      kernel_->Post(arrival, std::move(deliver));
+    }
   }
-  if (deliver) {
-    kernel_->Post(arrival, std::move(deliver));
-  }
-  return arrival;
+  return TxResult{arrival, delivered};
 }
 
 }  // namespace net

@@ -37,6 +37,38 @@ using sim::NodeId;
 // pair, so there is no shared-medium queueing (only per-link serialization).
 enum class Topology { kSharedBus, kSwitched };
 
+// --- Fault injection ---------------------------------------------------------
+//
+// A FaultFilter is consulted once per transmission, at an ordered point,
+// before the channel is reserved. It decides the frame's fate: deliver
+// normally, drop it (the frame still occupies the sender's medium — it is
+// lost at the receiver), or deliver twice (a second identical frame is
+// transmitted back-to-back). An extra receive-side delay may be added in
+// any case. Loopback sends (src == dst) never consult the filter: they do
+// not touch the medium. With no filter attached, behaviour and timings are
+// exactly the unfaulted model.
+
+enum class FaultAction : uint8_t { kDeliver, kDrop, kDuplicate };
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kDeliver;
+  Duration extra_delay = 0;  // added to the receive path (reordering/jitter)
+};
+
+class FaultFilter {
+ public:
+  virtual ~FaultFilter() = default;
+  virtual FaultDecision OnTransmit(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                                   bool bulk) = 0;
+};
+
+// Outcome of one transmission as known to the simulator (not to the sending
+// software, which only learns of loss through timeouts).
+struct TxResult {
+  Time arrival = 0;        // delivery time of the first copy (would-be, if dropped)
+  bool delivered = false;  // at least one copy reached dst
+};
+
 class Network {
  public:
   explicit Network(sim::Kernel* kernel, Topology topology = Topology::kSharedBus)
@@ -48,14 +80,31 @@ class Network {
   // Transmits one datagram of `bytes` payload leaving src no earlier than
   // `depart`. Returns the time the message is available to software at dst
   // (wire + propagation + receive software path). If `deliver` is non-null
-  // it runs, in event context, at that time.
+  // it runs, in event context, at that time. A loopback send (src == dst)
+  // bypasses the medium entirely: zero wire occupancy, no propagation, only
+  // the receive software path.
   Time Send(NodeId src, NodeId dst, int64_t bytes, Time depart,
             std::function<void()> deliver = nullptr);
+
+  // As Send, but also reports whether any copy was delivered (fault
+  // filters may drop the frame). The *simulator's* view of the outcome —
+  // sending software only learns of loss through timeouts.
+  TxResult SendTracked(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                       std::function<void()> deliver = nullptr);
 
   // Transmits a bulk payload as MTU-sized fragments back-to-back on the
   // medium. Returns delivery-complete time at dst.
   Time SendBulk(NodeId src, NodeId dst, int64_t bytes, Time depart,
                 std::function<void()> deliver = nullptr);
+
+  // As SendBulk, with the delivery outcome (fault filters drop or delay the
+  // transfer as a unit).
+  TxResult SendBulkTracked(NodeId src, NodeId dst, int64_t bytes, Time depart,
+                           std::function<void()> deliver = nullptr);
+
+  // Attaches a fault filter (nullptr detaches). With none attached every
+  // frame is delivered with unmodified timing.
+  void SetFaultFilter(FaultFilter* filter) { fault_ = filter; }
 
   // --- Traffic statistics ----------------------------------------------------
   int64_t messages() const { return messages_.value(); }
@@ -82,6 +131,10 @@ class Network {
   // returns the transmission start time.
   Time AcquireChannel(NodeId src, NodeId dst, Time ready, Duration wire);
 
+  // Delivery time of a loopback send: no medium, only the receive software
+  // path (the message never leaves the node's protocol stack).
+  TxResult Loopback(NodeId node, int64_t bytes, Time depart, std::function<void()> deliver);
+
   sim::Kernel* kernel_;
   Topology topology_;
   Time bus_free_at_ = 0;
@@ -91,6 +144,7 @@ class Network {
   Counter fragments_;
   Duration busy_ns_ = 0;
   MessageObserver on_message_;
+  FaultFilter* fault_ = nullptr;
 };
 
 }  // namespace net

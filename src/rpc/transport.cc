@@ -1,8 +1,31 @@
 #include "src/rpc/transport.h"
 
+#include <memory>
+
 #include "src/base/panic.h"
 
 namespace rpc {
+namespace {
+
+// Shared state of one reliable roundtrip, reachable from the requester
+// fiber, every in-flight request frame's delivery closure, the receiver's
+// cached-reply re-sends, and the per-attempt timeout events. All access
+// happens at ordered points (event context or post-Sync fiber code), so no
+// host-level synchronization is needed.
+struct RtState {
+  sim::Fiber* requester = nullptr;
+  // Requester side: true while the fiber is committed to blocking for this
+  // attempt. Whoever clears it (reply or timeout) owns the Wake.
+  bool waiting = false;
+  int epoch = 0;  // attempt number the requester is currently waiting on
+  bool reply_arrived = false;
+  // Receiver side: the service runs once; duplicates re-send the cached
+  // reply size without re-executing (duplicate suppression).
+  bool service_ran = false;
+  int64_t reply_bytes = 0;
+};
+
+}  // namespace
 
 Time Transport::ChargeSendPath(int64_t payload_bytes) {
   sim::Fiber* f = kernel_->current();
@@ -21,7 +44,11 @@ Time Transport::Send(NodeId dst, int64_t payload_bytes, std::function<void()> de
   return net_->Send(src, dst, payload_bytes, depart, std::move(deliver));
 }
 
-Time Transport::Roundtrip(NodeId dst, int64_t request_bytes, std::function<int64_t()> service) {
+RoundtripResult Transport::Roundtrip(NodeId dst, int64_t request_bytes,
+                                     std::function<int64_t()> service) {
+  if (reliable_) {
+    return RoundtripReliable(dst, request_bytes, std::move(service));
+  }
   sim::Fiber* f = kernel_->current();
   const NodeId src = f->node;
   AMBER_CHECK(dst != src) << "roundtrip to self";
@@ -45,23 +72,157 @@ Time Transport::Roundtrip(NodeId dst, int64_t request_bytes, std::function<int64
     kernel_->Wake(f, reply_arrival);
   });
   kernel_->Block();
-  return kernel_->Now();
+  return RoundtripResult{SendStatus::kOk, kernel_->Now(), 1};
 }
 
-void Transport::Travel(NodeId dst, int64_t payload_bytes) {
+RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
+                                             std::function<int64_t()> service) {
+  sim::Fiber* f = kernel_->current();
+  const NodeId src = f->node;
+  AMBER_CHECK(dst != src) << "roundtrip to self";
+  ++roundtrips_;
+  const uint64_t id = next_rpc_id_++;
+  auto st = std::make_shared<RtState>();
+  st->requester = f;
+
+  // Runs at the requester when a reply frame (original or cached re-send)
+  // arrives. Any reply satisfies any attempt of this roundtrip — the
+  // sequence id pairs them, and the service is idempotent by construction
+  // (it ran exactly once).
+  auto on_reply = [this, st] {
+    if (st->waiting) {
+      st->waiting = false;
+      st->reply_arrived = true;
+      kernel_->Wake(st->requester, kernel_->Now());
+    }
+    // else: the requester already gave up (or was already woken) — the late
+    // reply is discarded.
+  };
+
+  // Runs at the receiver when a request frame arrives. First delivery
+  // executes the service and sends the reply; duplicates (retransmissions
+  // racing a slow reply, or fault-duplicated frames) re-send the cached
+  // reply without re-running the service.
+  auto on_request = [this, st, dst, src, id, service, on_reply] {
+    if (!st->service_ran) {
+      st->service_ran = true;
+      const Time served = kernel_->Now();
+      st->reply_bytes = service();
+      const Time reply_depart = kernel_->Now() + kernel_->cost().MarshalCost(st->reply_bytes);
+      const net::TxResult tx = net_->SendTracked(dst, src, st->reply_bytes, reply_depart, on_reply);
+      if (observer_ != nullptr) {
+        observer_->OnRpcResponse(served, tx.arrival, dst, src, st->reply_bytes, id);
+      }
+    } else {
+      ++dups_suppressed_;
+      if (observer_ != nullptr) {
+        observer_->OnRpcDuplicateSuppressed(kernel_->Now(), dst, id);
+      }
+      // Cached reply: already marshalled, so it departs immediately.
+      net_->SendTracked(dst, src, st->reply_bytes, kernel_->Now(), on_reply);
+    }
+  };
+
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    Time depart;
+    if (attempt == 0) {
+      depart = ChargeSendPath(request_bytes);
+      if (observer_ != nullptr) {
+        observer_->OnRpcRequest(depart, src, dst, request_bytes, id);
+      }
+    } else {
+      // Retransmission: the payload is already marshalled; only the protocol
+      // send path is paid again.
+      kernel_->Charge(kernel_->cost().rpc_send_software);
+      kernel_->Sync();
+      depart = kernel_->Now();
+      ++retries_;
+      if (observer_ != nullptr) {
+        observer_->OnRpcRetry(depart, src, dst, id, attempt);
+      }
+    }
+    // No events run between here and Block(): fiber code between kernel
+    // calls is atomic, so arming waiting/epoch now is safe.
+    st->waiting = true;
+    st->epoch = attempt;
+    net_->SendTracked(src, dst, request_bytes, depart, on_request);
+    const Duration timeout = retry_.AttemptTimeout(attempt);
+    kernel_->Post(depart + timeout, [this, st, attempt] {
+      // Only the attempt that armed this timer may expire it; a reply that
+      // raced in first cleared `waiting` and owns the wake.
+      if (st->waiting && st->epoch == attempt) {
+        st->waiting = false;
+        kernel_->Wake(st->requester, kernel_->Now());
+      }
+    });
+    kernel_->Block();
+    if (st->reply_arrived) {
+      return RoundtripResult{SendStatus::kOk, kernel_->Now(), attempt + 1};
+    }
+  }
+  ++timeouts_;
+  if (observer_ != nullptr) {
+    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts);
+  }
+  return RoundtripResult{SendStatus::kTimeout, kernel_->Now(), retry_.max_attempts};
+}
+
+TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
   sim::Fiber* f = kernel_->current();
   const NodeId src = f->node;
   AMBER_CHECK(dst != src) << "travel to self";
-  const Time depart = ChargeSendPath(payload_bytes);
+  if (!reliable_) {
+    const Time depart = ChargeSendPath(payload_bytes);
+    ++travels_;
+    const Time arrival = net_->Send(src, dst, payload_bytes, depart, nullptr);
+    kernel_->TravelTo(dst, arrival);
+    return TravelResult{};
+  }
   ++travels_;
-  const Time arrival = net_->Send(src, dst, payload_bytes, depart, nullptr);
-  kernel_->TravelTo(dst, arrival);
+  const uint64_t id = next_rpc_id_++;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    Time depart;
+    if (attempt == 0) {
+      depart = ChargeSendPath(payload_bytes);
+    } else {
+      kernel_->Charge(kernel_->cost().rpc_send_software);
+      kernel_->Sync();
+      depart = kernel_->Now();
+      ++retries_;
+      if (observer_ != nullptr) {
+        observer_->OnRpcRetry(depart, src, dst, id, attempt);
+      }
+    }
+    // The simulator's oracle view of delivery stands in for the migration
+    // protocol's arrival ack: a lost carrier frame surfaces as an ack
+    // timeout at the source, which still holds the thread and retransmits.
+    const net::TxResult tx = net_->SendTracked(src, dst, payload_bytes, depart, nullptr);
+    if (tx.delivered) {
+      kernel_->TravelTo(dst, tx.arrival);
+      return TravelResult{SendStatus::kOk, attempt + 1};
+    }
+    const Duration timeout = retry_.AttemptTimeout(attempt);
+    kernel_->Post(depart + timeout, [this, f] { kernel_->Wake(f, kernel_->Now()); });
+    kernel_->Block();
+  }
+  ++timeouts_;
+  if (observer_ != nullptr) {
+    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts);
+  }
+  return TravelResult{SendStatus::kTimeout, retry_.max_attempts};
 }
 
 Time Transport::SendBulk(NodeId dst, int64_t payload_bytes, std::function<void()> deliver) {
   const NodeId src = kernel_->current()->node;
   const Time depart = ChargeSendPath(payload_bytes);
   return net_->SendBulk(src, dst, payload_bytes, depart, std::move(deliver));
+}
+
+net::TxResult Transport::SendBulkTracked(NodeId dst, int64_t payload_bytes,
+                                         std::function<void()> deliver) {
+  const NodeId src = kernel_->current()->node;
+  const Time depart = ChargeSendPath(payload_bytes);
+  return net_->SendBulkTracked(src, dst, payload_bytes, depart, std::move(deliver));
 }
 
 }  // namespace rpc

@@ -10,6 +10,16 @@
 //                 message. The current fiber is charged for marshalling its
 //                 payload, then migrates to the destination node, arriving
 //                 after the wire + software path (§3.4 thread migration).
+//
+// Failure semantics (fault-injection runs): with reliability enabled
+// (Transport::EnableReliability), Roundtrip and Travel become
+// sequence-numbered, timeout-protected operations with capped exponential
+// backoff retransmission and receiver-side duplicate suppression. After
+// RetryPolicy::max_attempts the operation returns a typed kTimeout status
+// instead of blocking forever. One-way Send keeps datagram semantics: a
+// dropped frame is simply lost. With reliability disabled (the default),
+// every path is byte-for-byte the original lossless model — no timers are
+// posted and no sequence state is kept.
 
 #ifndef AMBER_SRC_RPC_TRANSPORT_H_
 #define AMBER_SRC_RPC_TRANSPORT_H_
@@ -22,8 +32,42 @@
 
 namespace rpc {
 
+using amber::Duration;
 using amber::Time;
 using sim::NodeId;
+
+// Outcome of a reliable transport operation. In lossless mode the status is
+// always kOk.
+enum class SendStatus : uint8_t { kOk, kTimeout };
+
+struct RoundtripResult {
+  SendStatus status = SendStatus::kOk;
+  Time completed = 0;  // reply arrival (kOk) or the time the caller gave up
+  int attempts = 1;    // transmissions of the request
+  operator Time() const { return completed; }  // compatibility with Time call sites
+};
+
+struct TravelResult {
+  SendStatus status = SendStatus::kOk;
+  int attempts = 1;
+};
+
+// Virtual-time retransmission policy: attempt k (0-based) waits
+// min(timeout << k, timeout_cap) for an answer before retransmitting;
+// after max_attempts transmissions the operation fails with kTimeout.
+struct RetryPolicy {
+  Duration timeout = amber::Millis(20);       // first-attempt timeout
+  Duration timeout_cap = amber::Millis(160);  // backoff ceiling
+  int max_attempts = 8;
+
+  Duration AttemptTimeout(int attempt) const {
+    Duration t = timeout;
+    for (int i = 0; i < attempt && t < timeout_cap; ++i) {
+      t *= 2;
+    }
+    return t < timeout_cap ? t : timeout_cap;
+  }
+};
 
 // Observer of request/response roundtrips (tracing, metrics). `id` pairs a
 // request with its response; callbacks fire at ordered points and must not
@@ -31,13 +75,22 @@ using sim::NodeId;
 class TransportObserver {
  public:
   virtual ~TransportObserver() = default;
-  // A request of `bytes` left `src` for `dst` at `depart`.
+  // A request of `bytes` left `src` for `dst` at `depart` (first attempt).
   virtual void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) {}
   // The service at `src` produced a `bytes` reply for the requester at
   // `dst`; `when` is the service execution time, `reply_arrive` when the
   // reply reaches the requester.
   virtual void OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
                              uint64_t id) {}
+  // --- Failure-path events (reliability mode only) --------------------------
+  // Attempt `attempt` (1-based retransmission count) of request `id` left
+  // src for dst after the previous attempt timed out.
+  virtual void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt) {}
+  // The operation gave up after `attempts` transmissions.
+  virtual void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts) {}
+  // The receiver saw a duplicate of an already-served request and re-sent
+  // the cached reply without re-running the service.
+  virtual void OnRpcDuplicateSuppressed(Time when, NodeId node, uint64_t id) {}
 };
 
 class Transport {
@@ -49,19 +102,30 @@ class Transport {
 
   // One-way datagram from the current fiber's node. Charges the fiber for
   // marshal + send software, then transmits. Returns delivery time at dst.
+  // Datagram semantics under faults: a dropped frame is lost, no retry.
   Time Send(NodeId dst, int64_t payload_bytes, std::function<void()> deliver = nullptr);
 
   // Request/reply. Blocks the calling fiber until the reply (whose size the
-  // service returns) arrives back. Returns the reply arrival time.
-  Time Roundtrip(NodeId dst, int64_t request_bytes, std::function<int64_t()> service);
+  // service returns) arrives back, retrying per the RetryPolicy when
+  // reliability is enabled. The service runs at most once per roundtrip:
+  // duplicate requests (retransmission racing a slow reply, or a duplicated
+  // frame) re-send the cached reply without re-executing it.
+  RoundtripResult Roundtrip(NodeId dst, int64_t request_bytes,
+                            std::function<int64_t()> service);
 
   // Migrates the calling fiber to dst carrying `payload_bytes` (thread
-  // control state + stack + arguments). On return the fiber runs on dst.
-  void Travel(NodeId dst, int64_t payload_bytes);
+  // control state + stack + arguments). On kOk the fiber runs on dst; on
+  // kTimeout it never left the source node.
+  TravelResult Travel(NodeId dst, int64_t payload_bytes);
 
   // Bulk transfer (object move) from the current fiber's node; the fiber is
   // charged for marshalling. Returns delivery-complete time at dst.
   Time SendBulk(NodeId dst, int64_t payload_bytes, std::function<void()> deliver = nullptr);
+
+  // As SendBulk, but reports whether the transfer survived fault injection
+  // (the simulator's oracle view; callers model detection as an ack timeout).
+  net::TxResult SendBulkTracked(NodeId dst, int64_t payload_bytes,
+                                std::function<void()> deliver = nullptr);
 
   net::Network& network() { return *net_; }
 
@@ -69,20 +133,40 @@ class Transport {
   // guarded, so the cost is zero when none is attached.
   void SetObserver(TransportObserver* observer) { observer_ = observer; }
 
+  // Switches Roundtrip/Travel onto the timeout/retry/dedup path. Off by
+  // default; fault injection turns it on. When off, behaviour and event
+  // traffic are exactly the lossless model.
+  void EnableReliability(bool on) { reliable_ = on; }
+  bool reliability_enabled() const { return reliable_; }
+
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   // --- Statistics --------------------------------------------------------------
   int64_t roundtrips() const { return roundtrips_; }
   int64_t travels() const { return travels_; }
+  int64_t retries() const { return retries_; }
+  int64_t timeouts() const { return timeouts_; }
+  int64_t duplicates_suppressed() const { return dups_suppressed_; }
 
  private:
   // Charges marshal + protocol-send CPU to the current fiber and returns its
   // post-charge virtual time (the earliest wire departure).
   Time ChargeSendPath(int64_t payload_bytes);
 
+  RoundtripResult RoundtripReliable(NodeId dst, int64_t request_bytes,
+                                    std::function<int64_t()> service);
+
   sim::Kernel* kernel_;
   net::Network* net_;
   TransportObserver* observer_ = nullptr;
+  RetryPolicy retry_;
+  bool reliable_ = false;
   int64_t roundtrips_ = 0;
   int64_t travels_ = 0;
+  int64_t retries_ = 0;
+  int64_t timeouts_ = 0;
+  int64_t dups_suppressed_ = 0;
   uint64_t next_rpc_id_ = 1;
 };
 

@@ -57,7 +57,11 @@ class WireBuffer {
 
   std::vector<uint8_t> GetBytes() {
     const uint64_t len = GetU64();
-    AMBER_CHECK(cursor_ + len <= bytes_.size()) << "wire underrun";
+    // Guard against truncated buffers AND corrupted length prefixes: a huge
+    // len would make `cursor_ + len` wrap and slip past a naive comparison.
+    AMBER_CHECK(len <= bytes_.size() - cursor_)
+        << "wire decode truncated: need " << len << " payload bytes, have "
+        << (bytes_.size() - cursor_);
     std::vector<uint8_t> out(bytes_.begin() + static_cast<long>(cursor_),
                              bytes_.begin() + static_cast<long>(cursor_ + len));
     cursor_ += len;
@@ -67,6 +71,27 @@ class WireBuffer {
   std::string GetString() {
     auto b = GetBytes();
     return std::string(b.begin(), b.end());
+  }
+
+  // --- Trivially-copyable record fast path -----------------------------------
+  // Whole structs travel as their in-memory representation (valid within one
+  // simulated machine — see the header comment). The decode side is guarded:
+  // a short or truncated buffer panics with a clear message instead of
+  // reading past the end, which matters once fault injection can duplicate
+  // or corrupt frames.
+
+  template <typename T>
+  void PutRecord(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "PutRecord requires a trivially-copyable type");
+    PutRaw(&v, sizeof(T));
+  }
+
+  template <typename T>
+  T GetRecord() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "GetRecord requires a trivially-copyable type");
+    return GetRaw<T>();
   }
 
   // --- Introspection -----------------------------------------------------------
@@ -94,7 +119,9 @@ class WireBuffer {
 
   template <typename T>
   T GetRaw() {
-    AMBER_CHECK(cursor_ + sizeof(T) <= bytes_.size()) << "wire underrun";
+    AMBER_CHECK(sizeof(T) <= bytes_.size() - cursor_)
+        << "wire underrun: need " << sizeof(T) << " bytes, have " << (bytes_.size() - cursor_)
+        << " of " << bytes_.size();
     T v;
     std::memcpy(&v, bytes_.data() + cursor_, sizeof(T));
     cursor_ += sizeof(T);

@@ -94,6 +94,9 @@ void Kernel::EnqueueReady(Fiber* f, Time t) {
 void Kernel::TryDispatch(NodeId node) {
   AMBER_DCHECK(current_ == nullptr) << "TryDispatch from fiber context";
   NodeState& ns = nodes_[node];
+  if (!ns.up) {
+    return;  // crashed node: ready fibers park until restart
+  }
   while (!ns.free_procs.empty() && !ns.queue->Empty()) {
     Fiber* f = ns.queue->Dequeue();
     AMBER_DCHECK(f->state == FiberState::kReady);
@@ -320,6 +323,27 @@ void Kernel::Wake(Fiber* f, Time t) {
     EnqueueReady(f, queue_.now());
     TryDispatch(f->node);
   });
+}
+
+void Kernel::SetNodeUp(NodeId node, bool up) {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  NodeState& ns = nodes_[node];
+  if (ns.up == up) {
+    return;
+  }
+  ns.up = up;
+  if (!up) {
+    // Running fibers halt at their next charge boundary or sync point and
+    // requeue; TryDispatch then refuses to run them until restart.
+    RequestPreempt(node);
+  } else {
+    Post(Now(), [this, node] { TryDispatch(node); });
+  }
+}
+
+bool Kernel::NodeUp(NodeId node) const {
+  AMBER_CHECK(node >= 0 && node < nodes());
+  return nodes_[node].up;
 }
 
 int Kernel::RequestPreempt(NodeId node) {

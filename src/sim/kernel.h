@@ -145,6 +145,15 @@ class Kernel {
   // resume hook when dispatched again. Returns how many were flagged.
   int RequestPreempt(NodeId node);
 
+  // Marks a node down (crash) or back up (restart). A down node dispatches
+  // nothing: running fibers are flagged for preemption and park on the run
+  // queue at their next charge boundary; fibers arriving via TravelTo queue
+  // up and wait. Memory and queued state survive the outage (fail-stop
+  // freeze/restart — the fault-injection model, see docs/FAULTS.md).
+  // Call from event context or ordered fiber code.
+  void SetNodeUp(NodeId node, bool up);
+  bool NodeUp(NodeId node) const;
+
   // --- Clock / introspection ------------------------------------------------
 
   // Current virtual time: the running fiber's vtime, else the event clock.
@@ -186,6 +195,7 @@ class Kernel {
     std::vector<int> free_procs;  // LIFO stack of free processor indices
     std::unique_ptr<RunQueue> queue;
     Duration busy_ns = 0;
+    bool up = true;  // down nodes dispatch nothing (fault injection)
   };
 
   static void FiberEntry(void* arg);

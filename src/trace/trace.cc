@@ -46,6 +46,20 @@ const char* KindName(EventKind kind) {
       return "rpc-request";
     case EventKind::kRpcResponse:
       return "rpc-response";
+    case EventKind::kMessageDrop:
+      return "message-drop";
+    case EventKind::kMessageDup:
+      return "message-dup";
+    case EventKind::kMessageDelay:
+      return "message-delay";
+    case EventKind::kNodeCrash:
+      return "node-crash";
+    case EventKind::kNodeRestart:
+      return "node-restart";
+    case EventKind::kRpcRetry:
+      return "rpc-retry";
+    case EventKind::kRpcTimeout:
+      return "rpc-timeout";
   }
   return "?";
 }
@@ -288,6 +302,76 @@ void Tracer::OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst,
   events_.push_back(std::move(e));
 }
 
+void Tracer::OnMessageDropped(Time when, NodeId src, NodeId dst, int64_t bytes,
+                              const char* reason) {
+  Event e;
+  e.kind = EventKind::kMessageDrop;
+  e.when = when;
+  e.src = src;
+  e.dst = dst;
+  e.bytes = bytes;
+  e.label = reason;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::OnMessageDuplicated(Time when, NodeId src, NodeId dst, int64_t bytes) {
+  Event e;
+  e.kind = EventKind::kMessageDup;
+  e.when = when;
+  e.src = src;
+  e.dst = dst;
+  e.bytes = bytes;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::OnMessageDelayed(Time when, NodeId src, NodeId dst, Duration extra) {
+  Event e;
+  e.kind = EventKind::kMessageDelay;
+  e.when = when;
+  e.src = src;
+  e.dst = dst;
+  e.dur = extra;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::OnNodeCrash(Time when, NodeId node) {
+  Event e;
+  e.kind = EventKind::kNodeCrash;
+  e.when = when;
+  e.src = e.dst = node;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::OnNodeRestart(Time when, NodeId node) {
+  Event e;
+  e.kind = EventKind::kNodeRestart;
+  e.when = when;
+  e.src = e.dst = node;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt) {
+  Event e;
+  e.kind = EventKind::kRpcRetry;
+  e.when = when;
+  e.src = src;
+  e.dst = dst;
+  e.value = static_cast<int64_t>(id);
+  e.bytes = attempt;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts) {
+  Event e;
+  e.kind = EventKind::kRpcTimeout;
+  e.when = when;
+  e.src = src;
+  e.dst = dst;
+  e.value = static_cast<int64_t>(id);
+  e.bytes = attempts;
+  events_.push_back(std::move(e));
+}
+
 // --- Rendering ------------------------------------------------------------------
 
 void Tracer::WriteChromeTrace(std::ostream& out) const {
@@ -454,6 +538,46 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
                       KindName(e.kind), Escape(e.label).c_str(), e.src, e.dst, Us(e.when),
                       e.src, KindName(e.kind), KindName(e.kind),
                       static_cast<long long>(e.bytes));
+        add(Us(e.when), buf);
+        break;
+      case EventKind::kMessageDrop:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"drop %d->%d (%s)\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,"
+                      "\"tid\":\"net\",\"s\":\"p\",\"cat\":\"fault\",\"args\":{\"bytes\":%lld}}",
+                      e.src, e.dst, Escape(e.label).c_str(), Us(e.when), e.src,
+                      static_cast<long long>(e.bytes));
+        add(Us(e.when), buf);
+        break;
+      case EventKind::kMessageDup:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"dup %d->%d\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,"
+                      "\"tid\":\"net\",\"s\":\"p\",\"cat\":\"fault\",\"args\":{\"bytes\":%lld}}",
+                      e.src, e.dst, Us(e.when), e.src, static_cast<long long>(e.bytes));
+        add(Us(e.when), buf);
+        break;
+      case EventKind::kMessageDelay:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"delay %d->%d\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,"
+                      "\"tid\":\"net\",\"s\":\"p\",\"cat\":\"fault\",\"args\":{\"extra_ns\":%lld}}",
+                      e.src, e.dst, Us(e.when), e.src, static_cast<long long>(e.dur));
+        add(Us(e.when), buf);
+        break;
+      case EventKind::kNodeCrash:
+      case EventKind::kNodeRestart:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s node-%d\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,"
+                      "\"tid\":\"fault\",\"s\":\"p\",\"cat\":\"fault\"}",
+                      KindName(e.kind), e.src, Us(e.when), e.src);
+        add(Us(e.when), buf);
+        break;
+      case EventKind::kRpcRetry:
+      case EventKind::kRpcTimeout:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s %d->%d\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,"
+                      "\"tid\":\"rpc\",\"s\":\"t\",\"cat\":\"fault\","
+                      "\"args\":{\"id\":%lld,\"attempt\":%lld}}",
+                      KindName(e.kind), e.src, e.dst, Us(e.when), e.src,
+                      static_cast<long long>(e.value), static_cast<long long>(e.bytes));
         add(Us(e.when), buf);
         break;
     }

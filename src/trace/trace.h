@@ -64,6 +64,14 @@ enum class EventKind : uint8_t {
   kConditionWake,
   kRpcRequest,
   kRpcResponse,
+  // Fault-injection events (src/fault).
+  kMessageDrop,
+  kMessageDup,
+  kMessageDelay,
+  kNodeCrash,
+  kNodeRestart,
+  kRpcRetry,
+  kRpcTimeout,
 };
 
 // True for the four kinds whose recording order is globally nondecreasing
@@ -117,6 +125,16 @@ class Tracer : public amber::RuntimeObserver {
   void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) override;
   void OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
                      uint64_t id) override;
+
+  // --- RuntimeObserver: fault injection -------------------------------------
+  void OnMessageDropped(Time when, NodeId src, NodeId dst, int64_t bytes,
+                        const char* reason) override;
+  void OnMessageDuplicated(Time when, NodeId src, NodeId dst, int64_t bytes) override;
+  void OnMessageDelayed(Time when, NodeId src, NodeId dst, Duration extra) override;
+  void OnNodeCrash(Time when, NodeId node) override;
+  void OnNodeRestart(Time when, NodeId node) override;
+  void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt) override;
+  void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts) override;
 
   // --- Access / rendering ------------------------------------------------------
 

@@ -1,0 +1,243 @@
+// Tests for the fault-injection subsystem wired into the full runtime:
+// seeded determinism (same plan + seed → byte-identical metrics and traces),
+// the empty-plan inertness contract, crash/restart survival, and the typed
+// Status surface for moves aimed at dead or partitioned nodes.
+
+#include "src/fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/core/amber.h"
+#include "src/metrics/metrics.h"
+#include "src/trace/trace.h"
+
+namespace amber {
+namespace {
+
+Runtime::Config TestConfig(int nodes = 4, int procs = 2) {
+  Runtime::Config c;
+  c.nodes = nodes;
+  c.procs_per_node = procs;
+  c.arena_bytes = size_t{256} << 20;
+  c.initial_regions_per_node = 4;
+  return c;
+}
+
+class Counter : public Object {
+ public:
+  int Add(int d) {
+    Work(kMicrosecond * 20);
+    value_ += d;
+    return value_;
+  }
+  int Get() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+
+// A chatty workload: objects spread across nodes, cross-node calls and moves
+// — enough RPC traffic that a lossy plan reliably perturbs it.
+void ChattyWorkload(int rounds = 6) {
+  auto a = New<Counter>();
+  auto b = New<Counter>();
+  MoveTo(a, 1);
+  MoveTo(b, 2);
+  for (int i = 0; i < rounds; ++i) {
+    a.Call(&Counter::Add, 1);
+    b.Call(&Counter::Add, 1);
+    MoveTo(a, (i % 2 == 0) ? 3 : 1);
+  }
+  EXPECT_EQ(a.Call(&Counter::Get), rounds);
+  EXPECT_EQ(b.Call(&Counter::Get), rounds);
+}
+
+fault::FaultPlan LossyPlan(uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  fault::LinkRule rule;
+  rule.drop = 0.15;
+  rule.duplicate = 0.05;
+  rule.delay = 0.10;
+  rule.delay_min = Micros(50);
+  rule.delay_max = Micros(500);
+  plan.links.push_back(rule);
+  return plan;
+}
+
+// Runs the chatty workload under `plan` and returns "metrics-json \x1e
+// trace-text" for byte-comparison.
+std::string RunAndCapture(const fault::FaultPlan& plan) {
+  Runtime rt(TestConfig());
+  fault::Injector injector(plan);
+  metrics::Registry metrics;
+  trace::Tracer tracer;
+  rt.SetMetrics(&metrics);
+  rt.SetObserver(&tracer);
+  rt.SetFaultInjector(&injector);
+  rt.SetFailureHandler([](const FailureEvent&) { return FailureAction::kRetry; });
+  rt.Run([] { ChattyWorkload(); });
+  std::ostringstream out;
+  metrics.WriteJson(out);
+  out << '\x1e';
+  tracer.WriteText(out);
+  return out.str();
+}
+
+TEST(FaultDeterminismTest, SameSeedSameBytesDifferentSeedDiffers) {
+  const std::string run1 = RunAndCapture(LossyPlan(7));
+  const std::string run2 = RunAndCapture(LossyPlan(7));
+  EXPECT_EQ(run1, run2);  // byte-identical metrics + trace
+
+  const std::string other = RunAndCapture(LossyPlan(8));
+  EXPECT_NE(run1, other);  // a different seed is a different failure history
+}
+
+TEST(FaultDeterminismTest, LossyRunActuallyDropsAndRetries) {
+  Runtime rt(TestConfig());
+  fault::Injector injector(LossyPlan(7));
+  rt.SetFaultInjector(&injector);
+  rt.SetFailureHandler([](const FailureEvent&) { return FailureAction::kRetry; });
+  rt.Run([] { ChattyWorkload(); });
+  EXPECT_GT(injector.drops(), 0);
+  EXPECT_GT(rt.transport().retries(), 0);
+}
+
+TEST(FaultInertnessTest, EmptyPlanChangesNothing) {
+  Time bare_end = 0;
+  int64_t bare_messages = 0;
+  {
+    Runtime rt(TestConfig());
+    bare_end = rt.Run([] { ChattyWorkload(); });
+    bare_messages = rt.network().messages();
+  }
+  Runtime rt(TestConfig());
+  fault::Injector injector{fault::FaultPlan{}};
+  EXPECT_FALSE(injector.active());
+  rt.SetFaultInjector(&injector);
+  const Time end = rt.Run([] { ChattyWorkload(); });
+  EXPECT_EQ(end, bare_end);
+  EXPECT_EQ(rt.network().messages(), bare_messages);
+  EXPECT_FALSE(rt.transport().reliability_enabled());
+  EXPECT_EQ(injector.drops(), 0);
+}
+
+TEST(FaultCrashTest, CrashAndRestartSurviveWithRetryHandler) {
+  Runtime rt(TestConfig());
+  fault::FaultPlan plan;
+  fault::NodeEvent ev;
+  ev.node = 2;
+  ev.crash_at = Millis(10);  // after the object has settled on node 2
+  ev.restart_at = Millis(60);
+  plan.node_events.push_back(ev);
+  fault::Injector injector(plan);
+  rt.SetFaultInjector(&injector);
+  // Keep the retransmission budget well under the 59 ms outage, so the
+  // failure handler (not silent transport retries) carries the thread
+  // across the downtime.
+  rpc::RetryPolicy policy;
+  policy.timeout = Millis(2);
+  policy.timeout_cap = Millis(8);
+  policy.max_attempts = 3;
+  rt.transport().SetRetryPolicy(policy);
+  int failures_seen = 0;
+  rt.SetFailureHandler([&](const FailureEvent& e) {
+    ++failures_seen;
+    EXPECT_EQ(e.node, 2);
+    return FailureAction::kRetry;
+  });
+  int final_value = 0;
+  rt.Run([&] {
+    auto c = New<Counter>();
+    ASSERT_EQ(MoveTo(c, 2), Status::kOk);  // parked on the node about to die
+    Work(Millis(12));  // let the crash land
+    for (int i = 0; i < 3; ++i) {
+      final_value = c.Call(&Counter::Add, 1);  // blocks across the outage
+    }
+  });
+  EXPECT_EQ(final_value, 3);
+  EXPECT_EQ(injector.crashes(), 1);
+  EXPECT_EQ(injector.restarts(), 1);
+  EXPECT_GT(failures_seen, 0)
+      << "drops=" << injector.drops() << " retries=" << rt.transport().retries()
+      << " timeouts=" << rt.transport().timeouts() << " end=" << rt.now();
+}
+
+TEST(FaultStatusTest, MoveToDeadNodeReturnsUnreachable) {
+  Runtime rt(TestConfig());
+  fault::FaultPlan plan;
+  fault::NodeEvent ev;
+  ev.node = 3;
+  ev.crash_at = 0;  // dead from the start, never restarts
+  plan.node_events.push_back(ev);
+  fault::Injector injector(plan);
+  rt.SetFaultInjector(&injector);
+  rt.Run([&] {
+    auto c = New<Counter>();
+    EXPECT_EQ(MoveTo(c, 3), Status::kUnreachable);
+    // The object stayed consistent at its source and remains usable.
+    EXPECT_EQ(Locate(c), 0);
+    EXPECT_EQ(c.Call(&Counter::Add, 5), 5);
+    EXPECT_EQ(MoveTo(c, 1), Status::kOk);
+    EXPECT_EQ(Locate(c), 1);
+    rt.ValidateLocationInvariants();
+  });
+  EXPECT_FALSE(injector.NodeUp(3));
+}
+
+TEST(FaultStatusTest, MoveAcrossPermanentPartitionFailsTyped) {
+  Runtime rt(TestConfig());
+  fault::FaultPlan plan;
+  fault::Partition part;
+  part.a = 0;
+  part.b = 3;  // 0 and 3 can never talk
+  plan.partitions.push_back(part);
+  fault::Injector injector(plan);
+  rpc::RetryPolicy policy;
+  policy.timeout = Millis(2);
+  policy.timeout_cap = Millis(8);
+  policy.max_attempts = 3;
+  rt.SetFaultInjector(&injector);
+  rt.transport().SetRetryPolicy(policy);
+  rt.Run([&] {
+    auto c = New<Counter>();
+    EXPECT_FALSE(injector.Reachable(0, 3, Now()));
+    EXPECT_TRUE(injector.Reachable(0, 1, Now()));
+    EXPECT_NE(MoveTo(c, 3), Status::kOk);
+    EXPECT_EQ(Locate(c), 0);
+    // Unaffected links still work.
+    EXPECT_EQ(MoveTo(c, 1), Status::kOk);
+    rt.ValidateLocationInvariants();
+  });
+}
+
+TEST(FaultStatusTest, ForwardingChainThroughDeadNodeIsRepaired) {
+  Runtime rt(TestConfig());
+  fault::FaultPlan plan;
+  fault::NodeEvent ev;
+  ev.node = 1;  // will die holding a stale forwarding hop
+  ev.crash_at = Millis(30);
+  plan.node_events.push_back(ev);
+  fault::Injector injector(plan);
+  rt.SetFaultInjector(&injector);
+  rt.SetFailureHandler([](const FailureEvent&) { return FailureAction::kRetry; });
+  rt.Run([&] {
+    auto c = New<Counter>();
+    // Build a forwarding chain 0 -> 1 -> 2: node 0's descriptor still points
+    // at node 1 after the second hop.
+    ASSERT_EQ(MoveTo(c, 1), Status::kOk);
+    ASSERT_EQ(MoveTo(c, 2), Status::kOk);
+    Work(Millis(40));  // node 1 (the chain's middle hop) dies
+    // Chasing through the dead hop must re-route via the broadcast-locate
+    // repair path and still find the object on node 2.
+    EXPECT_EQ(c.Call(&Counter::Add, 9), 9);
+    EXPECT_EQ(Locate(c), 2);
+  });
+  EXPECT_EQ(injector.crashes(), 1);
+}
+
+}  // namespace
+}  // namespace amber

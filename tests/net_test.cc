@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
 #include "src/rpc/transport.h"
 #include "src/rpc/wire.h"
 #include "src/sim/stack_pool.h"
@@ -121,6 +124,55 @@ TEST(NetworkTest, BulkFasterThanEquivalentDatagramsWithOverhead) {
   EXPECT_LT(bulk, dgram);
 }
 
+TEST(NetworkTest, LoopbackBypassesMedium) {
+  CostModel cost = SimpleNet();
+  cost.rpc_recv_software = Micros(50);
+  NetHarness h(cost);
+  // src == dst: no media access, no wire time, no propagation — only the
+  // receive software path. The shared bus stays free for other senders.
+  const Time arrival = h.net().Send(2, 2, 1250, /*depart=*/0);
+  EXPECT_EQ(arrival, Micros(50));
+  EXPECT_EQ(h.net().busy_time(), 0);
+  // A cross-node frame departing at the same instant pays no queueing.
+  const Time cross = h.net().Send(0, 1, 1250, 0);
+  EXPECT_EQ(cross, Millis(1) + Micros(110) + Micros(50));
+}
+
+TEST(NetworkTest, LoopbackStillCountsTrafficAndDelivers) {
+  NetHarness h;
+  Time delivered_at = -1;
+  h.net().Send(3, 3, 700, Millis(1), [&] { delivered_at = h.k().Now(); });
+  h.k().Run();
+  EXPECT_EQ(delivered_at, Millis(1));  // recv software is 0 in SimpleNet
+  EXPECT_EQ(h.net().messages(), 1);
+  EXPECT_EQ(h.net().bytes_sent(), 700);
+}
+
+class DropEverything : public FaultFilter {
+ public:
+  FaultDecision OnTransmit(sim::NodeId, sim::NodeId, int64_t, Time, bool) override {
+    ++consulted;
+    return FaultDecision{FaultAction::kDrop, 0};
+  }
+  int consulted = 0;
+};
+
+TEST(NetworkTest, LoopbackNeverConsultsFaultFilter) {
+  NetHarness h;
+  DropEverything filter;
+  h.net().SetFaultFilter(&filter);
+  bool delivered = false;
+  const TxResult tx = h.net().SendTracked(1, 1, 64, 0, [&] { delivered = true; });
+  h.k().Run();
+  EXPECT_TRUE(tx.delivered);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(filter.consulted, 0);
+  // A cross-node frame is dropped and the filter sees it.
+  const TxResult lost = h.net().SendTracked(0, 1, 64, 0);
+  EXPECT_FALSE(lost.delivered);
+  EXPECT_EQ(filter.consulted, 1);
+}
+
 TEST(TransportTest, TravelMovesFiberWithPayloadCharges) {
   CostModel cost = SimpleNet();
   cost.marshal_base = Micros(100);
@@ -221,6 +273,45 @@ TEST(WireTest, WireSizeAccounting) {
   EXPECT_EQ(rpc::WireSizeOf(s), 8 + 5);
   EXPECT_EQ(rpc::WireSizeOfAll(int32_t{1}, 3.0, row), 4 + 8 + 8 + 976);
   EXPECT_EQ(rpc::WireSizeOfAll(), 0);
+}
+
+TEST(WireTest, TruncatedScalarPanicsInsteadOfReadingPastEnd) {
+  std::vector<uint8_t> three_bytes = {1, 2, 3};
+  rpc::WireBuffer w(std::move(three_bytes));
+  EXPECT_EQ(w.GetU8(), 1);
+  EXPECT_DEATH(w.GetU32(), "wire underrun");
+}
+
+TEST(WireTest, TruncatedByteBlockPanics) {
+  rpc::WireBuffer full;
+  full.PutBytes("abcdefgh", 8);
+  std::vector<uint8_t> cut(full.bytes().begin(), full.bytes().end() - 3);
+  rpc::WireBuffer w(std::move(cut));
+  EXPECT_DEATH(w.GetBytes(), "wire decode truncated");
+}
+
+TEST(WireTest, CorruptedLengthPrefixDoesNotWrap) {
+  // A length prefix of ~2^64 must not wrap cursor+len past the bounds check.
+  rpc::WireBuffer evil;
+  evil.PutU64(std::numeric_limits<uint64_t>::max() - 2);
+  rpc::WireBuffer w(evil.bytes());
+  EXPECT_DEATH(w.GetBytes(), "wire decode truncated");
+}
+
+TEST(WireTest, RecordRoundTripAndTruncationGuard) {
+  struct Header {
+    uint32_t seq;
+    uint16_t kind;
+    uint16_t flags;
+  };
+  rpc::WireBuffer w;
+  w.PutRecord(Header{7, 2, 0xff});
+  const auto h = w.GetRecord<Header>();
+  EXPECT_EQ(h.seq, 7u);
+  EXPECT_EQ(h.kind, 2);
+  EXPECT_EQ(h.flags, 0xff);
+  EXPECT_EQ(w.remaining(), 0u);
+  EXPECT_DEATH(w.GetRecord<Header>(), "wire underrun");
 }
 
 }  // namespace
