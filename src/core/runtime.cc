@@ -991,6 +991,20 @@ Status Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst, bool* a
           return kControlBytes;
         });
     if (rr.status != rpc::SendStatus::kOk) {
+      if (accepted) {
+        // The owner committed the move (descriptors flipped, transfer
+        // delivered) but every reply copy was lost: a lost ack, not a lost
+        // move. The in-simulator flag is the oracle; it is stable here
+        // because the transport cancels the roundtrip on give-up, so the
+        // service can no longer run after this point.
+        if (metrics_ != nullptr) {
+          metrics_->GetHistogram("amber.move.latency")
+              .Record(static_cast<double>(sim_->Now() - move_start));
+          metrics_->GetCounter("amber.move.bytes").Add(moved_bytes);
+        }
+        *accepted_out = true;
+        return Status::kOk;
+      }
       *accepted_out = false;
       return Status::kUnreachable;  // owner unreachable
     }

@@ -17,7 +17,8 @@ const char* DropReasonName(DropReason r) {
 }
 
 void Injector::Attach(sim::Kernel* kernel, net::Network* net, rpc::Transport* rpc) {
-  AMBER_CHECK(kernel_ == nullptr) << "fault injector attached twice";
+  AMBER_CHECK(!attached_) << "fault injector attached twice";
+  attached_ = true;
   if (!active()) {
     return;  // empty plan: leave every hook untouched (byte-identity contract)
   }
@@ -100,7 +101,10 @@ net::FaultDecision Injector::OnTransmit(NodeId src, NodeId dst, int64_t bytes, T
       fd.action = net::FaultAction::kDrop;
       reason = DropReason::kLossy;
     } else {
-      if (r->duplicate > 0 && rng_.NextDouble() < r->duplicate) {
+      // Bulk transfers never duplicate: the bulk protocol numbers its
+      // fragments and suppresses duplicates below the delivery callback, so
+      // no draw is consumed and no duplicate is counted for them.
+      if (!bulk && r->duplicate > 0 && rng_.NextDouble() < r->duplicate) {
         fd.action = net::FaultAction::kDuplicate;
         ++duplicates_;
         if (sink_ != nullptr) {
@@ -122,8 +126,14 @@ net::FaultDecision Injector::OnTransmit(NodeId src, NodeId dst, int64_t bytes, T
       sink_->OnMessageDropped(depart, src, dst, bytes, reason);
     }
   }
-  (void)bulk;  // bulk transfers degrade kDuplicate to kDeliver in the network
   return fd;
+}
+
+void Injector::OnArrivalAtDeadNode(NodeId src, NodeId dst, int64_t bytes, Time arrival) {
+  ++drops_;
+  if (sink_ != nullptr) {
+    sink_->OnMessageDropped(arrival, src, dst, bytes, DropReason::kNodeDown);
+  }
 }
 
 }  // namespace fault

@@ -15,9 +15,10 @@
 //   * A non-empty plan flips rpc::Transport into reliability mode (timeouts,
 //     capped exponential backoff retransmission, duplicate suppression) so
 //     lost frames surface as retries or typed timeout errors, never hangs.
-//   * Node crashes are fail-stop freezes: a down node dispatches nothing and
-//     all frames to or from it are dropped at departure time; memory and
-//     queued state survive a restart.
+//   * Node crashes are fail-stop freezes: a down node dispatches nothing,
+//     all frames to or from it are dropped at departure time, and frames
+//     already in flight when it crashes are discarded on arrival; memory
+//     and queued state survive a restart.
 //   * The Injector doubles as a perfect failure detector (NodeUp / LinkUp)
 //     for the runtime's forwarding-chain repair — the oracle the paper's
 //     single-machine assumptions never needed.
@@ -136,6 +137,10 @@ class Injector : public net::FaultFilter {
   net::FaultDecision OnTransmit(NodeId src, NodeId dst, int64_t bytes, Time depart,
                                 bool bulk) override;
 
+  // A frame already in flight when its destination crashed was discarded by
+  // the network at arrival time: counted and reported as a kNodeDown drop.
+  void OnArrivalAtDeadNode(NodeId src, NodeId dst, int64_t bytes, Time arrival) override;
+
   // --- Statistics ------------------------------------------------------------
 
   int64_t drops() const { return drops_; }
@@ -151,7 +156,8 @@ class Injector : public net::FaultFilter {
 
   FaultPlan plan_;
   amber::Rng rng_;
-  sim::Kernel* kernel_ = nullptr;
+  bool attached_ = false;
+  sim::Kernel* kernel_ = nullptr;  // set only by an *active* Attach()
   FaultSink* sink_ = nullptr;
   int64_t drops_ = 0;
   int64_t duplicates_ = 0;

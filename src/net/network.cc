@@ -17,12 +17,32 @@ Time Network::AcquireChannel(NodeId src, NodeId dst, Time ready, Duration wire) 
   return start;
 }
 
+void Network::PostDelivery(NodeId src, NodeId dst, int64_t bytes, Time arrival,
+                           std::function<void()> deliver) {
+  if (fault_ == nullptr) {
+    kernel_->Post(arrival, std::move(deliver));
+    return;
+  }
+  kernel_->Post(arrival, [this, src, dst, bytes, arrival, deliver = std::move(deliver)] {
+    if (!kernel_->NodeUp(dst)) {
+      // Fail-stop: the receiver crashed while the frame was in flight; a
+      // dead node executes no delivery software. The frame is lost.
+      if (fault_ != nullptr) {
+        fault_->OnArrivalAtDeadNode(src, dst, bytes, arrival);
+      }
+      return;
+    }
+    deliver();
+  });
+}
+
 TxResult Network::Loopback(NodeId node, int64_t bytes, Time depart,
                            std::function<void()> deliver) {
   // A send to self never touches the medium: zero wire occupancy, no
   // propagation, no channel reservation. Only the receive software path is
   // paid (the message still traverses the local protocol stack). Fault
-  // filters are not consulted — there is no wire to be lossy.
+  // filters are not consulted — there is no wire to be lossy — though
+  // delivery still requires the node to be up at arrival time.
   const Time arrival = depart + kernel_->cost().rpc_recv_software;
   messages_.Add();
   bytes_.Add(bytes);
@@ -31,7 +51,7 @@ TxResult Network::Loopback(NodeId node, int64_t bytes, Time depart,
     on_message_(depart, arrival, node, node, bytes);
   }
   if (deliver) {
-    kernel_->Post(arrival, std::move(deliver));
+    PostDelivery(node, node, bytes, arrival, std::move(deliver));
   }
   return TxResult{arrival, true};
 }
@@ -64,7 +84,7 @@ TxResult Network::SendTracked(NodeId src, NodeId dst, int64_t bytes, Time depart
       on_message_(depart, arrival, src, dst, bytes);
     }
     if (deliver) {
-      kernel_->Post(arrival, deliver);
+      PostDelivery(src, dst, bytes, arrival, deliver);
     }
   }
   if (fd.action == FaultAction::kDuplicate) {
@@ -80,7 +100,7 @@ TxResult Network::SendTracked(NodeId src, NodeId dst, int64_t bytes, Time depart
       on_message_(depart, arrival2, src, dst, bytes);
     }
     if (deliver) {
-      kernel_->Post(arrival2, deliver);
+      PostDelivery(src, dst, bytes, arrival2, deliver);
     }
   }
   return TxResult{arrival, delivered};
@@ -98,8 +118,8 @@ TxResult Network::SendBulkTracked(NodeId src, NodeId dst, int64_t bytes, Time de
     return Loopback(src, bytes, depart, std::move(deliver));
   }
   // Faults apply to the transfer as a unit: the bulk protocol numbers its
-  // fragments, so a duplicated fragment is suppressed below the delivery
-  // callback (kDuplicate degrades to kDeliver) and a lost fragment kills
+  // fragments, so duplicates are suppressed below the delivery callback
+  // (the filter never duplicates bulk transfers) and a lost fragment kills
   // the whole transfer (kDrop).
   FaultDecision fd;
   if (fault_ != nullptr) {
@@ -130,7 +150,7 @@ TxResult Network::SendBulkTracked(NodeId src, NodeId dst, int64_t bytes, Time de
       on_message_(depart, arrival, src, dst, bytes);
     }
     if (deliver) {
-      kernel_->Post(arrival, std::move(deliver));
+      PostDelivery(src, dst, bytes, arrival, std::move(deliver));
     }
   }
   return TxResult{arrival, delivered};

@@ -60,6 +60,10 @@ class FaultFilter {
   virtual ~FaultFilter() = default;
   virtual FaultDecision OnTransmit(NodeId src, NodeId dst, int64_t bytes, Time depart,
                                    bool bulk) = 0;
+  // Bookkeeping: a frame that was in flight when its destination crashed
+  // reached a dead node, and the network discarded the delivery at arrival
+  // time. The decision comes from kernel liveness, not from the filter.
+  virtual void OnArrivalAtDeadNode(NodeId src, NodeId dst, int64_t bytes, Time arrival) {}
 };
 
 // Outcome of one transmission as known to the simulator (not to the sending
@@ -130,6 +134,14 @@ class Network {
   // transmission of `wire` duration starting no earlier than `ready`;
   // returns the transmission start time.
   Time AcquireChannel(NodeId src, NodeId dst, Time ready, Duration wire);
+
+  // Posts `deliver` for execution at `arrival`. Under fault injection the
+  // receiver may crash while the frame is in flight, so liveness is
+  // re-checked when the closure runs: a dead node executes no delivery
+  // software (fail-stop covers in-flight frames, not just future
+  // departures). With no filter attached this is a plain Post.
+  void PostDelivery(NodeId src, NodeId dst, int64_t bytes, Time arrival,
+                    std::function<void()> deliver);
 
   // Delivery time of a loopback send: no medium, only the receive software
   // path (the message never leaves the node's protocol stack).

@@ -23,6 +23,11 @@ struct RtState {
   // reply size without re-executing (duplicate suppression).
   bool service_ran = false;
   int64_t reply_bytes = 0;
+  // Set when the requester gives up (kTimeout) and unwinds. The service
+  // closure typically references the requester's stack frame, so a request
+  // frame still in flight (fault-delayed past the retry budget) must not
+  // execute it after cancellation — the late frame dies at the receiver.
+  bool cancelled = false;
 };
 
 }  // namespace
@@ -104,6 +109,9 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
   // racing a slow reply, or fault-duplicated frames) re-send the cached
   // reply without re-running the service.
   auto on_request = [this, st, dst, src, id, service, on_reply] {
+    if (st->cancelled) {
+      return;  // requester gave up and unwound; see RtState::cancelled
+    }
     if (!st->service_ran) {
       st->service_ran = true;
       const Time served = kernel_->Now();
@@ -161,6 +169,7 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
     }
   }
   ++timeouts_;
+  st->cancelled = true;
   if (observer_ != nullptr) {
     observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts);
   }

@@ -214,6 +214,80 @@ TEST(FaultStatusTest, MoveAcrossPermanentPartitionFailsTyped) {
   });
 }
 
+TEST(FaultInjectorTest, BulkTransfersConsumeNoDuplicateDrawOrCount) {
+  fault::FaultPlan plan;
+  fault::LinkRule rule;
+  rule.duplicate = 1.0;  // every datagram frame duplicates
+  plan.links.push_back(rule);
+  fault::Injector injector(plan);
+  // The bulk protocol suppresses duplicates below the delivery callback, so
+  // the injector must neither flag the transfer nor count a duplicate.
+  const net::FaultDecision bulk_fd = injector.OnTransmit(0, 1, 4096, 0, /*bulk=*/true);
+  EXPECT_EQ(bulk_fd.action, net::FaultAction::kDeliver);
+  EXPECT_EQ(injector.duplicates(), 0);
+  const net::FaultDecision frame_fd = injector.OnTransmit(0, 1, 100, 0, /*bulk=*/false);
+  EXPECT_EQ(frame_fd.action, net::FaultAction::kDuplicate);
+  EXPECT_EQ(injector.duplicates(), 1);
+}
+
+TEST(FaultInjectorTest, InactiveInjectorStillRejectsDoubleAttach) {
+  fault::Injector injector{fault::FaultPlan{}};
+  ASSERT_FALSE(injector.active());
+  // An empty plan makes Attach a no-op before touching its arguments, so
+  // null hooks are safe here — only the double-attach guard is under test.
+  injector.Attach(nullptr, nullptr, nullptr);
+  EXPECT_DEATH(injector.Attach(nullptr, nullptr, nullptr), "attached twice");
+}
+
+// Delivers everything until it has seen the owner's bulk transfer to the
+// move destination, then (while armed) kills every owner->requester frame —
+// exactly the move-ack replies of an already-committed remote move.
+class MoveAckKiller : public net::FaultFilter {
+ public:
+  net::FaultDecision OnTransmit(sim::NodeId src, sim::NodeId dst, int64_t /*bytes*/,
+                                Time /*depart*/, bool bulk) override {
+    if (bulk && src == 1 && dst == 2) {
+      saw_transfer_ = true;
+    }
+    if (armed_ && saw_transfer_ && src == 1 && dst == 0) {
+      return net::FaultDecision{net::FaultAction::kDrop, 0};
+    }
+    return net::FaultDecision{};
+  }
+
+  void Disarm() { armed_ = false; }
+
+ private:
+  bool armed_ = true;
+  bool saw_transfer_ = false;
+};
+
+TEST(FaultStatusTest, CommittedMoveWithAllAcksLostStillReportsOk) {
+  Runtime rt(TestConfig());
+  MoveAckKiller filter;
+  rt.network().SetFaultFilter(&filter);
+  rt.transport().EnableReliability(true);
+  rpc::RetryPolicy policy;
+  policy.timeout = Millis(2);
+  policy.timeout_cap = Millis(4);
+  policy.max_attempts = 3;
+  rt.transport().SetRetryPolicy(policy);
+  rt.Run([&] {
+    auto c = New<Counter>();
+    ASSERT_EQ(MoveTo(c, 1), Status::kOk);  // object now owned by node 1
+    // Move 1 -> 2 requested from node 0: the owner commits the move and
+    // ships the object, but every reply copy back to the requester is lost,
+    // so the control roundtrip times out. The move happened — it must be
+    // reported kOk, not kUnreachable (a lost ack, not a lost move).
+    EXPECT_EQ(MoveTo(c, 2), Status::kOk);
+    filter.Disarm();
+    EXPECT_EQ(Locate(c), 2);
+    EXPECT_EQ(c.Call(&Counter::Add, 4), 4);
+    rt.ValidateLocationInvariants();
+  });
+  EXPECT_EQ(rt.transport().timeouts(), 1);
+}
+
 TEST(FaultStatusTest, ForwardingChainThroughDeadNodeIsRepaired) {
   Runtime rt(TestConfig());
   fault::FaultPlan plan;

@@ -206,6 +206,75 @@ TEST(RpcRetryTest, TravelAgainstDeadLinkTimesOutAtSource) {
   EXPECT_EQ(landed, 0);
 }
 
+// Delivers every frame, but `delay` late (fault-injected jitter).
+class DelayAllFilter : public net::FaultFilter {
+ public:
+  explicit DelayAllFilter(amber::Duration delay) : delay_(delay) {}
+
+  net::FaultDecision OnTransmit(sim::NodeId, sim::NodeId, int64_t, Time, bool) override {
+    return net::FaultDecision{net::FaultAction::kDeliver, delay_};
+  }
+
+ private:
+  amber::Duration delay_;
+};
+
+TEST(RpcRetryTest, LateDeliveredRequestAfterGiveUpDoesNotRunService) {
+  RetryHarness h;
+  // Every frame arrives 500 ms late — far beyond the whole retry budget
+  // (2 + 4 + 4 ms), so every request reaches the receiver only after the
+  // caller returned kTimeout and its stack frame unwound. A late delivery
+  // must not execute the service (it references the caller's frame).
+  DelayAllFilter filter(Millis(500));
+  h.net().SetFaultFilter(&filter);
+  RetryPolicy policy;
+  policy.timeout = Millis(2);
+  policy.timeout_cap = Millis(4);
+  policy.max_attempts = 3;
+  h.rpc().SetRetryPolicy(policy);
+  int service_runs = 0;
+  RoundtripResult rr;
+  h.Go(0, [&] {
+    rr = h.rpc().Roundtrip(2, 100, [&]() -> int64_t {
+      ++service_runs;
+      return 100;
+    });
+  });
+  h.k().Run();  // runs past the delayed arrivals
+  EXPECT_EQ(rr.status, SendStatus::kTimeout);
+  EXPECT_EQ(service_runs, 0);
+  EXPECT_EQ(h.rpc().timeouts(), 1);
+}
+
+TEST(RpcRetryTest, RequestInFlightWhenReceiverCrashesIsNotServed) {
+  RetryHarness h;
+  // A pass-through filter: its presence arms the network's arrival-time
+  // liveness re-check (as any non-empty fault plan would).
+  ScriptedFilter filter([](int, sim::NodeId, sim::NodeId) { return false; });
+  h.net().SetFaultFilter(&filter);
+  RetryPolicy policy;
+  policy.timeout = Millis(2);
+  policy.timeout_cap = Millis(4);
+  policy.max_attempts = 3;
+  h.rpc().SetRetryPolicy(policy);
+  // The first request departs at t=0 and arrives at t=190 µs (media + wire
+  // + propagation); node 2 dies at t=50 µs with the frame in flight. A dead
+  // node must not execute the service or send a reply.
+  h.k().Post(Micros(50), [&] { h.k().SetNodeUp(2, false); });
+  int service_runs = 0;
+  RoundtripResult rr;
+  h.Go(0, [&] {
+    rr = h.rpc().Roundtrip(2, 100, [&]() -> int64_t {
+      ++service_runs;
+      return 100;
+    });
+  });
+  h.k().Run();
+  EXPECT_EQ(rr.status, SendStatus::kTimeout);
+  EXPECT_EQ(service_runs, 0);
+  EXPECT_EQ(h.rpc().timeouts(), 1);
+}
+
 TEST(RpcRetryTest, ReliabilityOffIsLosslessFastPath) {
   RetryHarness h;
   h.rpc().EnableReliability(false);
