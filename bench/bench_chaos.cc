@@ -11,12 +11,14 @@
 // two runs of this binary produce byte-identical output files.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "src/apps/sor/sor.h"
 #include "src/fault/fault.h"
 #include "src/metrics/metrics.h"
+#include "src/prof/profiler.h"
 
 namespace {
 
@@ -56,7 +58,8 @@ fault::FaultPlan StandardLossyPlan(amber::Time clean_end) {
 }
 
 sor::Result RunOnce(const sor::Params& params, const fault::FaultPlan& plan,
-                    metrics::Registry* registry, fault::Injector* injector) {
+                    metrics::Registry* registry, fault::Injector* injector,
+                    prof::Profiler* profiler = nullptr) {
   amber::Runtime::Config config;
   config.nodes = kNodes;
   config.procs_per_node = kProcs;
@@ -64,6 +67,9 @@ sor::Result RunOnce(const sor::Params& params, const fault::FaultPlan& plan,
   amber::Runtime rt(config);
   if (registry != nullptr) {
     rt.SetMetrics(registry);
+  }
+  if (profiler != nullptr) {
+    rt.AddObserver(profiler);
   }
   if (injector != nullptr) {
     rt.SetFaultInjector(injector);
@@ -87,7 +93,8 @@ int main() {
   const fault::FaultPlan plan = StandardLossyPlan(clean.solve_time);
   metrics::Registry registry;
   fault::Injector injector(plan);
-  const sor::Result chaos = RunOnce(params, plan, &registry, &injector);
+  prof::Profiler profiler;
+  const sor::Result chaos = RunOnce(params, plan, &registry, &injector, &profiler);
 
   const double slowdown =
       static_cast<double>(chaos.solve_time) / static_cast<double>(clean.solve_time);
@@ -124,6 +131,18 @@ int main() {
   json.Config("restart_at_ns", plan.node_events[0].restart_at);
   const std::string path = json.Write(chaos.solve_time, &registry);
   std::printf("\nwrote %s\n", path.c_str());
+
+  prof::ProfileReport report = profiler.Finalize();
+  report.name = "chaos";
+  std::ofstream prof_out("PROF_chaos.json");
+  report.WriteJson(prof_out);
+  std::printf("wrote PROF_chaos.json (fault share of critical path: %.1f%%)\n",
+              report.total_ns > 0
+                  ? 100.0 * static_cast<double>(report.breakdown.count("fault")
+                                                    ? report.breakdown.at("fault")
+                                                    : 0) /
+                        static_cast<double>(report.total_ns)
+                  : 0.0);
 
   if (injector.drops() == 0 || chaos.grid_hash != clean.grid_hash) {
     std::printf("chaos bench FAILED: no faults injected or wrong answer\n");

@@ -18,6 +18,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/sor/sor.h"
+#include "src/prof/profiler.h"
 #include "src/trace/trace.h"
 
 namespace {
@@ -90,8 +91,10 @@ int main() {
     amber::Runtime rt(config);
     metrics::Registry registry;
     trace::Tracer tracer;
+    prof::Profiler profiler;
     rt.SetMetrics(&registry);
     rt.SetObserver(&tracer);
+    rt.AddObserver(&profiler);  // rides the same bus, zero virtual-time cost
     const sor::Result r = sor::RunAmber(rt, params);
     const double speedup =
         static_cast<double>(seq.solve_time) / static_cast<double>(r.solve_time);
@@ -111,6 +114,13 @@ int main() {
     tracer.WriteChromeTrace(trace_out);
     std::printf("\nwrote %s and BENCH_fig2_trace.json (%zu events)\n", path.c_str(),
                 tracer.size());
+
+    prof::ProfileReport report = profiler.Finalize();
+    report.name = "fig2";
+    std::ofstream prof_out("PROF_fig2.json");
+    report.WriteJson(prof_out);
+    std::printf("wrote PROF_fig2.json (critical path: %zu steps)\n",
+                report.critical_path.size());
   }
   return 0;
 }

@@ -15,11 +15,13 @@
 //     the protected *data* page still bounces.
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/amber.h"
 #include "src/dsm/dsm.h"
+#include "src/prof/profiler.h"
 
 namespace {
 
@@ -65,7 +67,9 @@ Outcome RunAmberLock() {
   config.procs_per_node = 2;
   Runtime rt(config);
   metrics::Registry registry;
+  prof::Profiler profiler;
   rt.SetMetrics(&registry);  // lock wait/hold times land in sync.* histograms
+  rt.AddObserver(&profiler);
   Outcome out{};
   Time virtual_time = 0;
   rt.Run([&] {
@@ -99,6 +103,11 @@ Outcome RunAmberLock() {
   json.Config("procs_per_node", int64_t{2});
   json.Config("rounds_per_node", int64_t{kRoundsPerNode});
   json.Write(virtual_time, &registry);
+
+  prof::ProfileReport report = profiler.Finalize();
+  report.name = "lock_thrash";
+  std::ofstream prof_out("PROF_lock_thrash.json");
+  report.WriteJson(prof_out);
   return out;
 }
 

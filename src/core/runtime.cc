@@ -64,8 +64,13 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
 
   // --- sim::SchedObserver ----------------------------------------------------
   void OnFiberCreate(Time when, sim::NodeId node, const sim::Fiber& f) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnThreadCreate(when, node, f.name);
+    // Spawn runs in the creating fiber's context (host context for the
+    // initial thread), so current() is the parent — the causal creation
+    // edge the critical-path profiler walks.
+    sim::Fiber* creator = rt->sim_->current();
+    const ThreadId parent = creator != nullptr ? creator->id : 0;
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnThreadCreate(when, node, f.id, f.name, parent);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("sched.threads.created", node).Add();
@@ -73,8 +78,8 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   }
   void OnFiberDispatch(Time when, sim::NodeId node, const sim::Fiber& f,
                        Duration queue_wait) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnThreadDispatch(when, node, f.name, queue_wait);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnThreadDispatch(when, node, f.id, queue_wait);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetHistogram("sched.runqueue.wait", node)
@@ -84,34 +89,35 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
     }
   }
   void OnFiberBlock(Time when, sim::NodeId node, const sim::Fiber& f) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnThreadBlock(when, node, f.name);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnThreadBlock(when, node, f.id);
     }
   }
-  void OnFiberUnblock(Time when, sim::NodeId node, const sim::Fiber& f) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnThreadUnblock(when, node, f.name);
+  void OnFiberUnblock(Time when, sim::NodeId node, const sim::Fiber& f, uint64_t waker_id,
+                      Time wake_time) override {
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnThreadUnblock(when, node, f.id, waker_id, wake_time);
     }
   }
   void OnFiberPreempt(Time when, sim::NodeId node, const sim::Fiber& f) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnThreadPreempt(when, node, f.name);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnThreadPreempt(when, node, f.id);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("sched.preempts", node).Add();
     }
   }
   void OnFiberExit(Time when, sim::NodeId node, const sim::Fiber& f) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnThreadExit(when, node, f.name);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnThreadExit(when, node, f.id);
     }
   }
 
   // --- rpc::TransportObserver ------------------------------------------------
-  void OnRpcRequest(Time depart, rpc::NodeId src, rpc::NodeId dst, int64_t bytes,
-                    uint64_t id) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnRpcRequest(depart, src, dst, bytes, id);
+  void OnRpcRequest(Time depart, rpc::NodeId src, rpc::NodeId dst, int64_t bytes, uint64_t id,
+                    uint64_t requester) override {
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnRpcRequest(depart, src, dst, bytes, id, requester);
     }
     if (rt->metrics_ != nullptr) {
       rpc_depart[id] = depart;
@@ -119,8 +125,8 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   }
   void OnRpcResponse(Time when, Time reply_arrive, rpc::NodeId src, rpc::NodeId dst,
                      int64_t bytes, uint64_t id) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnRpcResponse(when, reply_arrive, src, dst, bytes, id);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnRpcResponse(when, reply_arrive, src, dst, bytes, id);
     }
     if (rt->metrics_ != nullptr) {
       auto it = rpc_depart.find(id);
@@ -139,20 +145,20 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
       }
     }
   }
-  void OnRpcRetry(Time when, rpc::NodeId src, rpc::NodeId dst, uint64_t id,
-                  int attempt) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnRpcRetry(when, src, dst, id, attempt);
+  void OnRpcRetry(Time when, rpc::NodeId src, rpc::NodeId dst, uint64_t id, int attempt,
+                  uint64_t requester) override {
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnRpcRetry(when, src, dst, id, attempt, requester);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("rpc.retries").Add();
       rpc_retried.insert(id);
     }
   }
-  void OnRpcTimeout(Time when, rpc::NodeId src, rpc::NodeId dst, uint64_t id,
-                    int attempts) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnRpcTimeout(when, src, dst, id, attempts);
+  void OnRpcTimeout(Time when, rpc::NodeId src, rpc::NodeId dst, uint64_t id, int attempts,
+                    uint64_t requester) override {
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnRpcTimeout(when, src, dst, id, attempts, requester);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("rpc.timeouts").Add();
@@ -169,8 +175,8 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   // --- fault::FaultSink ------------------------------------------------------
   void OnMessageDropped(Time when, fault::NodeId src, fault::NodeId dst, int64_t bytes,
                         fault::DropReason reason) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnMessageDropped(when, src, dst, bytes, fault::DropReasonName(reason));
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnMessageDropped(when, src, dst, bytes, fault::DropReasonName(reason));
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("fault.drops", metrics::Registry::LinkLabel(src, dst)).Add();
@@ -178,8 +184,8 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   }
   void OnMessageDuplicated(Time when, fault::NodeId src, fault::NodeId dst,
                            int64_t bytes) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnMessageDuplicated(when, src, dst, bytes);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnMessageDuplicated(when, src, dst, bytes);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("fault.dups", metrics::Registry::LinkLabel(src, dst)).Add();
@@ -187,8 +193,8 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   }
   void OnMessageDelayed(Time when, fault::NodeId src, fault::NodeId dst,
                         Duration extra) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnMessageDelayed(when, src, dst, extra);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnMessageDelayed(when, src, dst, extra);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("fault.delays", metrics::Registry::LinkLabel(src, dst)).Add();
@@ -196,16 +202,16 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
     }
   }
   void OnNodeCrash(Time when, fault::NodeId node) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnNodeCrash(when, node);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnNodeCrash(when, node);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("fault.node.crashes", node).Add();
     }
   }
   void OnNodeRestart(Time when, fault::NodeId node) override {
-    if (rt->observer_ != nullptr) {
-      rt->observer_->OnNodeRestart(when, node);
+    for (RuntimeObserver* o : rt->observers_) {
+      o->OnNodeRestart(when, node);
     }
     if (rt->metrics_ != nullptr) {
       rt->metrics_->GetCounter("fault.node.restarts", node).Add();
@@ -450,12 +456,22 @@ void Runtime::EnterInvocation(Object* primary, int64_t args_wire_bytes) {
   sim_->Charge(cost().local_invoke);
   sim_->Sync();
   const int64_t migrations_before = thread_migrations_;
+  // Bracket the residency check: its duration (chain chasing + migration +
+  // failure backoff) is the invocation's entry overhead — what a better
+  // placement of `primary` would have saved the caller standing on `origin`.
+  const NodeId origin = instr ? here() : kNoNode;
+  const Time chase_start = instr ? sim_->Now() : 0;
   EnsureResident(primary, args_wire_bytes);
   if (instr) {
     const bool remote = thread_migrations_ != migrations_before;
     t->frames_.back().remote = remote;
-    if (observer_ != nullptr) {
-      observer_->OnInvokeEnter(sim_->Now(), here(), t->name_, ObjectLabel(primary), remote);
+    if (!observers_.empty()) {
+      const Time now = sim_->Now();
+      const std::string label = ObjectLabel(primary);
+      const ThreadId tid = t->fiber_->id;
+      for (RuntimeObserver* o : observers_) {
+        o->OnInvokeEnter(now, here(), tid, primary, label, remote, origin, now - chase_start);
+      }
     }
   }
 }
@@ -467,10 +483,12 @@ void Runtime::ExitInvocation(int64_t result_wire_bytes) {
   t->frames_.pop_back();
   sim_->Charge(cost().local_return);
   sim_->Sync();
+  const bool instr = instrumented();
+  const Time return_start = instr ? sim_->Now() : 0;
   // Return-time check, made after the frame pop (§3.5): continue where the
   // enclosing frame's object now lives.
   EnsureResident(t->frames_.back().object, result_wire_bytes);
-  if (instrumented()) {
+  if (instr) {
     const Time now = sim_->Now();
     const Duration span = now - done.enter;
     if (metrics_ != nullptr) {
@@ -480,8 +498,11 @@ void Runtime::ExitInvocation(int64_t result_wire_bytes) {
                          here())
           .Record(static_cast<double>(span));
     }
-    if (observer_ != nullptr) {
-      observer_->OnInvokeExit(now, here(), t->name_, span, done.remote);
+    if (!observers_.empty()) {
+      const ThreadId tid = t->fiber_->id;
+      for (RuntimeObserver* o : observers_) {
+        o->OnInvokeExit(now, here(), tid, span, done.remote, now - return_start);
+      }
     }
   }
 }
@@ -516,8 +537,8 @@ Status Runtime::TravelThread(NodeId dst, int64_t extra_bytes) {
     ++thread_migrations_;
     migration_matrix_[static_cast<size_t>(src) * static_cast<size_t>(nodes()) +
                       static_cast<size_t>(dst)] += 1;
-    if (observer_ != nullptr) {
-      observer_->OnThreadMigrate(depart, src, dst, t->name_, payload);
+    for (RuntimeObserver* o : observers_) {
+      o->OnThreadMigrate(depart, src, dst, t->fiber_->id, payload);
     }
     rpc_->Travel(dst, payload);
     if (metrics_ != nullptr) {
@@ -541,8 +562,8 @@ Status Runtime::TravelThread(NodeId dst, int64_t extra_bytes) {
   ++thread_migrations_;
   migration_matrix_[static_cast<size_t>(src) * static_cast<size_t>(nodes()) +
                     static_cast<size_t>(dst)] += 1;
-  if (observer_ != nullptr) {
-    observer_->OnThreadMigrate(depart, src, dst, t->name_, payload);
+  for (RuntimeObserver* o : observers_) {
+    o->OnThreadMigrate(depart, src, dst, t->fiber_->id, payload);
   }
   if (metrics_ != nullptr) {
     metrics_->GetHistogram("amber.migration.latency").Record(static_cast<double>(sim_->Now() - depart));
@@ -743,7 +764,11 @@ void Runtime::HandleUnreachable(const Object* obj, NodeId node, int attempts) {
   // kRetry: back off one retransmission-timeout before re-probing, so a
   // crashed node gets a chance to restart (or a partition to heal).
   sim::Fiber* self = sim_->current();
-  const Time resume = sim_->Now() + rpc_->retry_policy().timeout_cap;
+  const Duration backoff = rpc_->retry_policy().timeout_cap;
+  const Time resume = sim_->Now() + backoff;
+  for (RuntimeObserver* o : observers_) {
+    o->OnFailureBackoff(sim_->Now(), here(), self->id, backoff);
+  }
   sim_->Post(resume, [this, self] { sim_->Wake(self, sim_->Now()); });
   sim_->Block();
 }
@@ -795,8 +820,8 @@ Status Runtime::FetchReplica(Object* obj, NodeId from) {
   if (st != Residency::kReplica && st != Residency::kResident) {
     tables_[static_cast<size_t>(cur)]->SetReplica(obj);
     ++replicas_installed_;
-    if (observer_ != nullptr) {
-      observer_->OnReplicaInstall(sim_->Now(), obj, cur);
+    for (RuntimeObserver* o : observers_) {
+      o->OnReplicaInstall(sim_->Now(), obj, cur);
     }
   }
   return Status::kOk;
@@ -922,7 +947,11 @@ Status Runtime::MoveOutLocal(Object* obj, NodeId dst) {
         tables_[static_cast<size_t>(src)]->SetResident(o);
         o->header_.owner = src;
       }
-      const Time give_up = sim_->Now() + rpc_->retry_policy().timeout;
+      const Duration ack_timeout = rpc_->retry_policy().timeout;
+      const Time give_up = sim_->Now() + ack_timeout;
+      for (RuntimeObserver* ob : observers_) {
+        ob->OnFailureBackoff(sim_->Now(), src, self->id, ack_timeout);
+      }
       sim_->Post(give_up, [this, self] { sim_->Wake(self, sim_->Now()); });
       sim_->Block();
       return Status::kUnreachable;
@@ -937,8 +966,8 @@ Status Runtime::MoveOutLocal(Object* obj, NodeId dst) {
     sim_->Block();
   }
   ++objects_moved_;
-  if (observer_ != nullptr) {
-    observer_->OnObjectMove(sim_->Now(), obj, src, dst, total);
+  for (RuntimeObserver* o : observers_) {
+    o->OnObjectMove(sim_->Now(), obj, src, dst, total);
   }
   if (metrics_ != nullptr) {
     metrics_->GetHistogram("amber.move.latency").Record(static_cast<double>(sim_->Now() - move_start));
@@ -985,8 +1014,8 @@ Status Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst, bool* a
           accepted = true;
           moved_bytes = total;
           ++objects_moved_;
-          if (observer_ != nullptr) {
-            observer_->OnObjectMove(sim_->Now(), obj, owner, dst, total);
+          for (RuntimeObserver* ob : observers_) {
+            ob->OnObjectMove(sim_->Now(), obj, owner, dst, total);
           }
           return kControlBytes;
         });
@@ -1046,8 +1075,8 @@ Status Runtime::RequestRemoteMove(Object* obj, NodeId owner, NodeId dst, bool* a
       sim_->Wake(self, ack);
     }
     ++objects_moved_;
-    if (observer_ != nullptr) {
-      observer_->OnObjectMove(sim_->Now(), obj, owner, dst, total);
+    for (RuntimeObserver* ob : observers_) {
+      ob->OnObjectMove(sim_->Now(), obj, owner, dst, total);
     }
   });
   sim_->Block();
@@ -1078,7 +1107,11 @@ Status Runtime::ReplicateTo(Object* obj, NodeId dst) {
       const net::TxResult tx = rpc_->SendBulkTracked(dst, obj_bytes, nullptr);
       if (!tx.delivered) {
         // Copy lost; dst never saw it. Ride out the ack timeout, report.
-        const Time give_up = sim_->Now() + rpc_->retry_policy().timeout;
+        const Duration ack_timeout = rpc_->retry_policy().timeout;
+        const Time give_up = sim_->Now() + ack_timeout;
+        for (RuntimeObserver* o : observers_) {
+          o->OnFailureBackoff(sim_->Now(), cur, self->id, ack_timeout);
+        }
         sim_->Post(give_up, [this, self] { sim_->Wake(self, sim_->Now()); });
         sim_->Block();
         return Status::kUnreachable;
@@ -1086,8 +1119,8 @@ Status Runtime::ReplicateTo(Object* obj, NodeId dst) {
       const Time installed = tx.arrival + cost().move_install;
       tables_[static_cast<size_t>(dst)]->SetReplica(obj);
       ++replicas_installed_;
-      if (observer_ != nullptr) {
-        observer_->OnReplicaInstall(installed, obj, dst);
+      for (RuntimeObserver* o : observers_) {
+        o->OnReplicaInstall(installed, obj, dst);
       }
       sim_->Wake(self, installed);
       sim_->Block();
@@ -1097,8 +1130,8 @@ Status Runtime::ReplicateTo(Object* obj, NodeId dst) {
     const Time installed = arrive + cost().move_install;
     tables_[static_cast<size_t>(dst)]->SetReplica(obj);
     ++replicas_installed_;
-    if (observer_ != nullptr) {
-      observer_->OnReplicaInstall(installed, obj, dst);
+    for (RuntimeObserver* o : observers_) {
+      o->OnReplicaInstall(installed, obj, dst);
     }
     sim_->Wake(self, installed);
     sim_->Block();
@@ -1127,8 +1160,8 @@ Status Runtime::ReplicateTo(Object* obj, NodeId dst) {
             tables_[static_cast<size_t>(dst)]->SetReplica(obj);
             ++replicas_installed_;
             installed_ok = true;
-            if (observer_ != nullptr) {
-              observer_->OnReplicaInstall(installed, obj, dst);
+            for (RuntimeObserver* o : observers_) {
+              o->OnReplicaInstall(installed, obj, dst);
             }
           }
           return kControlBytes;
@@ -1148,8 +1181,8 @@ Status Runtime::ReplicateTo(Object* obj, NodeId dst) {
     const Time installed = arrive + cost().move_install;
     tables_[static_cast<size_t>(dst)]->SetReplica(obj);
     ++replicas_installed_;
-    if (observer_ != nullptr) {
-      observer_->OnReplicaInstall(installed, obj, dst);
+    for (RuntimeObserver* o : observers_) {
+      o->OnReplicaInstall(installed, obj, dst);
     }
     if (dst == cur) {
       sim_->Wake(self, installed);
@@ -1261,6 +1294,15 @@ void Runtime::JoinWait(ThreadObject* t) {
   sim_->Charge(cost().join_sync);
   sim_->Sync();
   if (!t->finished_) {
+    if (!observers_.empty()) {
+      // The join will actually wait: the causal edge is "joiner sleeps until
+      // target exits" (the profiler follows the critical path into `t`).
+      const ThreadId joiner = sim_->current()->id;
+      const ThreadId target = t->fiber_->id;
+      for (RuntimeObserver* o : observers_) {
+        o->OnThreadJoin(sim_->Now(), here(), joiner, target);
+      }
+    }
     t->join_waiters_.push_back(sim_->current());
     sim_->Block();
   }
@@ -1279,7 +1321,24 @@ void Runtime::SetScheduler(NodeId node, std::unique_ptr<sim::RunQueue> queue) {
 }
 
 void Runtime::SetObserver(RuntimeObserver* observer) {
-  observer_ = observer;
+  observers_.clear();
+  if (observer != nullptr) {
+    observers_.push_back(observer);
+  }
+  UpdateInstrumentation();
+}
+
+void Runtime::AddObserver(RuntimeObserver* observer) {
+  AMBER_CHECK(observer != nullptr);
+  AMBER_CHECK(std::find(observers_.begin(), observers_.end(), observer) == observers_.end())
+      << "observer already attached";
+  observers_.push_back(observer);
+  UpdateInstrumentation();
+}
+
+void Runtime::RemoveObserver(RuntimeObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
   UpdateInstrumentation();
 }
 
@@ -1319,7 +1378,7 @@ void Runtime::SetFaultInjector(fault::Injector* injector) {
 }
 
 void Runtime::UpdateInstrumentation() {
-  const bool on = observer_ != nullptr || metrics_ != nullptr;
+  const bool on = !observers_.empty() || metrics_ != nullptr;
   if (on && instr_ == nullptr) {
     instr_ = std::make_unique<Instrumentation>(this);
   }
@@ -1331,8 +1390,8 @@ void Runtime::UpdateInstrumentation() {
   if (on) {
     net_->SetMessageObserver(
         [this](Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) {
-          if (observer_ != nullptr) {
-            observer_->OnMessage(depart, arrive, src, dst, bytes);
+          for (RuntimeObserver* o : observers_) {
+            o->OnMessage(depart, arrive, src, dst, bytes);
           }
           if (metrics_ != nullptr) {
             const std::string link = metrics::Registry::LinkLabel(src, dst);
@@ -1390,8 +1449,11 @@ void Runtime::NotifyLockBlocked(const void* lock) {
     return;
   }
   const int id = SyncObjectId(lock);
-  if (observer_ != nullptr) {
-    observer_->OnLockBlocked(sim_->Now(), here(), current_thread()->name_, id);
+  if (!observers_.empty()) {
+    const ThreadId tid = sim_->current()->id;
+    for (RuntimeObserver* o : observers_) {
+      o->OnLockBlocked(sim_->Now(), here(), tid, id);
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->GetCounter("sync.lock.blocked", "lock" + std::to_string(id)).Add();
@@ -1403,11 +1465,18 @@ void Runtime::NotifyLockAcquired(const void* lock, Duration wait) {
     return;
   }
   const int id = SyncObjectId(lock);
-  if (observer_ != nullptr) {
-    observer_->OnLockAcquired(sim_->Now(), here(), current_thread()->name_, id, wait);
+  if (!observers_.empty()) {
+    const ThreadId tid = sim_->current()->id;
+    for (RuntimeObserver* o : observers_) {
+      o->OnLockAcquired(sim_->Now(), here(), tid, id, wait);
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->GetHistogram("sync.lock.wait", here()).Record(static_cast<double>(wait));
+    // Per-lock wait-time distribution (the placement/contention advisor's
+    // input): labelled by the dense lock id, like sync.lock.blocked.
+    metrics_->GetHistogram("lock.wait_ns", "lock" + std::to_string(id))
+        .Record(static_cast<double>(wait));
   }
 }
 
@@ -1428,11 +1497,17 @@ void Runtime::NotifyLockReleased(const void* lock) {
     lock_acquired_.erase(it);
   }
   const int id = SyncObjectId(lock);
-  if (observer_ != nullptr) {
-    observer_->OnLockReleased(sim_->Now(), here(), current_thread()->name_, id, held);
+  if (!observers_.empty()) {
+    const ThreadId tid = sim_->current()->id;
+    for (RuntimeObserver* o : observers_) {
+      o->OnLockReleased(sim_->Now(), here(), tid, id, held);
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->GetHistogram("sync.lock.hold").Record(static_cast<double>(held));
+    // Per-lock hold-time distribution, same labelling as lock.wait_ns.
+    metrics_->GetHistogram("lock.hold_ns", "lock" + std::to_string(id))
+        .Record(static_cast<double>(held));
   }
 }
 
@@ -1441,8 +1516,8 @@ void Runtime::NotifyConditionWake(const void* condition, int woken) {
     return;
   }
   const int id = SyncObjectId(condition);
-  if (observer_ != nullptr) {
-    observer_->OnConditionWake(sim_->Now(), here(), id, woken);
+  for (RuntimeObserver* o : observers_) {
+    o->OnConditionWake(sim_->Now(), here(), id, woken);
   }
   if (metrics_ != nullptr) {
     metrics_->GetCounter("sync.condition.wakeups").Add(woken);

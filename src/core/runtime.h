@@ -40,6 +40,13 @@ namespace amber {
 class Object;
 class ThreadObject;
 
+// Stable identity of a thread on the event bus: the underlying fiber's
+// dense creation-order id (1, 2, 3, ... — deterministic across identical
+// runs). Events carry this instead of the thread's name so the hot path is
+// allocation-free; OnThreadCreate delivers the id→name binding exactly once
+// and sinks keep their own side table (see trace::Tracer::ThreadName).
+using ThreadId = uint64_t;
+
 // Observer of the runtime's events — the instrumentation bus. Callbacks run
 // at ordered points with virtual timestamps; deterministic runs produce the
 // identical event sequence. Observers must not call back into the runtime.
@@ -53,46 +60,69 @@ class ThreadObject;
 //   * contention   — lock wait/hold and condition wakeups (from core/sync),
 //                    request/response roundtrips (from rpc::Transport).
 // Every emission site is guarded, so an unattached runtime pays nothing.
+//
+// Fan-out: several observers may be attached at once (AddObserver); each
+// event is delivered to all of them in attachment order, and removing one
+// mid-run does not change what the others see (tested in observer_test).
 class RuntimeObserver {
  public:
   virtual ~RuntimeObserver() = default;
 
   // --- Distribution events ---------------------------------------------------
-  virtual void OnThreadMigrate(Time when, NodeId src, NodeId dst, const std::string& thread,
+  virtual void OnThreadMigrate(Time when, NodeId src, NodeId dst, ThreadId thread,
                                int64_t bytes) {}
   virtual void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst, int64_t bytes) {}
   virtual void OnReplicaInstall(Time when, const void* obj, NodeId node) {}
   virtual void OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) {}
 
   // --- Scheduler events ------------------------------------------------------
-  virtual void OnThreadCreate(Time when, NodeId node, const std::string& thread) {}
+  // The only event that carries the thread's name; `parent` is the creating
+  // thread (0 for the initial thread, which host code spawns).
+  virtual void OnThreadCreate(Time when, NodeId node, ThreadId thread, const std::string& name,
+                              ThreadId parent) {}
   // `queue_wait` is the time spent ready on the run queue before dispatch.
-  virtual void OnThreadDispatch(Time when, NodeId node, const std::string& thread,
-                                Duration queue_wait) {}
-  virtual void OnThreadBlock(Time when, NodeId node, const std::string& thread) {}
-  virtual void OnThreadUnblock(Time when, NodeId node, const std::string& thread) {}
-  virtual void OnThreadPreempt(Time when, NodeId node, const std::string& thread) {}
-  virtual void OnThreadExit(Time when, NodeId node, const std::string& thread) {}
+  virtual void OnThreadDispatch(Time when, NodeId node, ThreadId thread, Duration queue_wait) {}
+  virtual void OnThreadBlock(Time when, NodeId node, ThreadId thread) {}
+  // `waker` is the thread whose Wake made this one runnable (0 when the wake
+  // came from event context: a timer, a message delivery, or a migration
+  // arrival) and `wake_time` the waker's clock at that call — together they
+  // are the causal edge the critical-path profiler walks.
+  virtual void OnThreadUnblock(Time when, NodeId node, ThreadId thread, ThreadId waker,
+                               Time wake_time) {}
+  virtual void OnThreadPreempt(Time when, NodeId node, ThreadId thread) {}
+  virtual void OnThreadExit(Time when, NodeId node, ThreadId thread) {}
+  // `thread` is about to block until `target` finishes (emitted only when
+  // the join actually waits).
+  virtual void OnThreadJoin(Time when, NodeId node, ThreadId thread, ThreadId target) {}
 
   // --- Invocation spans ------------------------------------------------------
   // Emitted once the thread is co-resident with the object (user code is
   // about to run); `remote` is whether reaching the object required
-  // migration. Enter/Exit pairs nest properly per thread.
-  virtual void OnInvokeEnter(Time when, NodeId node, const std::string& thread,
-                             const std::string& object, bool remote) {}
-  virtual void OnInvokeExit(Time when, NodeId node, const std::string& thread, Duration span,
-                            bool remote) {}
+  // migration. Enter/Exit pairs nest properly per thread. `obj` is the
+  // object's identity (sinks map it to a dense id), `origin` the node the
+  // caller stood on before the residency check, and `entry_overhead` the
+  // virtual time that check consumed (forward-chain chasing + migration) —
+  // the placement advisor's raw material.
+  virtual void OnInvokeEnter(Time when, NodeId node, ThreadId thread, const void* obj,
+                             const std::string& object, bool remote, NodeId origin,
+                             Duration entry_overhead) {}
+  // `exit_overhead` is the return-side residency cost (migrating back to the
+  // enclosing frame's object).
+  virtual void OnInvokeExit(Time when, NodeId node, ThreadId thread, Duration span, bool remote,
+                            Duration exit_overhead) {}
 
   // --- Contention events -----------------------------------------------------
   // `lock` is a small dense id assigned in first-contention order (stable
   // across identical runs, unlike pointers).
-  virtual void OnLockBlocked(Time when, NodeId node, const std::string& thread, int lock) {}
-  virtual void OnLockAcquired(Time when, NodeId node, const std::string& thread, int lock,
+  virtual void OnLockBlocked(Time when, NodeId node, ThreadId thread, int lock) {}
+  virtual void OnLockAcquired(Time when, NodeId node, ThreadId thread, int lock,
                               Duration wait) {}
-  virtual void OnLockReleased(Time when, NodeId node, const std::string& thread, int lock,
+  virtual void OnLockReleased(Time when, NodeId node, ThreadId thread, int lock,
                               Duration held) {}
   virtual void OnConditionWake(Time when, NodeId node, int condition, int woken) {}
-  virtual void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) {}
+  // `requester` is the thread blocked for the reply.
+  virtual void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id,
+                            ThreadId requester) {}
   virtual void OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
                              uint64_t id) {}
 
@@ -105,8 +135,15 @@ class RuntimeObserver {
   virtual void OnNodeCrash(Time when, NodeId node) {}
   virtual void OnNodeRestart(Time when, NodeId node) {}
   // `attempt` is the 1-based retransmission count of rpc `id`.
-  virtual void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt) {}
-  virtual void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts) {}
+  virtual void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt,
+                          ThreadId requester) {}
+  virtual void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts,
+                            ThreadId requester) {}
+  // `thread` is about to back off for `backoff` before re-probing an
+  // unreachable object / unacked transfer (failure-handler kRetry path and
+  // move-ack timeouts) — blocked time that is the fault's fault, not the
+  // network's.
+  virtual void OnFailureBackoff(Time when, NodeId node, ThreadId thread, Duration backoff) {}
 };
 
 // --- Failure-aware semantics ---------------------------------------------------
@@ -230,9 +267,21 @@ class Runtime {
   // Installs a scheduling policy on a node (§2.1 replaceable scheduler).
   void SetScheduler(NodeId node, std::unique_ptr<sim::RunQueue> queue);
 
-  // Attaches an event observer (e.g. trace::Tracer). Call before Run().
-  // Pass nullptr to detach.
+  // Attaches an event observer (e.g. trace::Tracer), replacing any already
+  // attached. Call before Run(). Pass nullptr to detach all.
   void SetObserver(RuntimeObserver* observer);
+
+  // Fan-out: attaches an additional observer. Events are delivered to every
+  // attached observer in attachment order — the order is part of the
+  // deterministic contract (two identical runs deliver the identical
+  // sequence to each observer). May be called before Run() or from ordered
+  // fiber code mid-run.
+  void AddObserver(RuntimeObserver* observer);
+
+  // Detaches one observer; the remaining observers' event streams are
+  // unaffected (they keep receiving every event, in the same order as if
+  // the removed one had never been attached). No-op if not attached.
+  void RemoveObserver(RuntimeObserver* observer);
 
   // Attaches a metrics registry. The runtime pre-registers and fills the
   // core metric families (see docs/OBSERVABILITY.md for the catalogue):
@@ -257,7 +306,7 @@ class Runtime {
 
   // True when an observer or metrics registry is attached; instrumentation
   // call sites outside the runtime (core/sync) gate on this.
-  bool instrumented() const { return observer_ != nullptr || metrics_ != nullptr; }
+  bool instrumented() const { return !observers_.empty() || metrics_ != nullptr; }
 
   // --- Contention instrumentation (called by core/sync; cheap no-ops
   // unless instrumented()) ----------------------------------------------------
@@ -410,7 +459,9 @@ class Runtime {
   int64_t thread_migrations_ = 0;
   int64_t forward_hops_ = 0;
   std::vector<int64_t> migration_matrix_;  // nodes x nodes, row = source
-  RuntimeObserver* observer_ = nullptr;
+  // Attached observers, in attachment (= delivery) order. Emission sites
+  // loop over this vector; an empty vector short-circuits to one branch.
+  std::vector<RuntimeObserver*> observers_;
   metrics::Registry* metrics_ = nullptr;
   fault::Injector* injector_ = nullptr;
   FailureHandler failure_handler_;

@@ -61,7 +61,7 @@ RoundtripResult Transport::Roundtrip(NodeId dst, int64_t request_bytes,
   ++roundtrips_;
   const uint64_t id = next_rpc_id_++;
   if (observer_ != nullptr) {
-    observer_->OnRpcRequest(depart, src, dst, request_bytes, id);
+    observer_->OnRpcRequest(depart, src, dst, request_bytes, id, f->id);
   }
   Time reply_arrival = 0;
   net_->Send(src, dst, request_bytes, depart, [this, f, src, dst, service, id, &reply_arrival] {
@@ -136,7 +136,7 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
     if (attempt == 0) {
       depart = ChargeSendPath(request_bytes);
       if (observer_ != nullptr) {
-        observer_->OnRpcRequest(depart, src, dst, request_bytes, id);
+        observer_->OnRpcRequest(depart, src, dst, request_bytes, id, f->id);
       }
     } else {
       // Retransmission: the payload is already marshalled; only the protocol
@@ -146,7 +146,7 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
       depart = kernel_->Now();
       ++retries_;
       if (observer_ != nullptr) {
-        observer_->OnRpcRetry(depart, src, dst, id, attempt);
+        observer_->OnRpcRetry(depart, src, dst, id, attempt, f->id);
       }
     }
     // No events run between here and Block(): fiber code between kernel
@@ -171,7 +171,7 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
   ++timeouts_;
   st->cancelled = true;
   if (observer_ != nullptr) {
-    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts);
+    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts, f->id);
   }
   return RoundtripResult{SendStatus::kTimeout, kernel_->Now(), retry_.max_attempts};
 }
@@ -199,7 +199,7 @@ TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
       depart = kernel_->Now();
       ++retries_;
       if (observer_ != nullptr) {
-        observer_->OnRpcRetry(depart, src, dst, id, attempt);
+        observer_->OnRpcRetry(depart, src, dst, id, attempt, f->id);
       }
     }
     // The simulator's oracle view of delivery stands in for the migration
@@ -216,7 +216,7 @@ TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
   }
   ++timeouts_;
   if (observer_ != nullptr) {
-    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts);
+    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts, f->id);
   }
   return TravelResult{SendStatus::kTimeout, retry_.max_attempts};
 }

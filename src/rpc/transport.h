@@ -69,14 +69,18 @@ struct RetryPolicy {
   }
 };
 
-// Observer of request/response roundtrips (tracing, metrics). `id` pairs a
-// request with its response; callbacks fire at ordered points and must not
-// call back into the transport.
+// Observer of request/response roundtrips (tracing, metrics, profiling).
+// `id` pairs a request with its response; `requester` is the fiber id of
+// the blocked caller (so profilers can attribute the wait to a thread —
+// OnRpcResponse runs in event context where that identity is not
+// recoverable). Callbacks fire at ordered points and must not call back
+// into the transport.
 class TransportObserver {
  public:
   virtual ~TransportObserver() = default;
   // A request of `bytes` left `src` for `dst` at `depart` (first attempt).
-  virtual void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) {}
+  virtual void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id,
+                            uint64_t requester) {}
   // The service at `src` produced a `bytes` reply for the requester at
   // `dst`; `when` is the service execution time, `reply_arrive` when the
   // reply reaches the requester.
@@ -85,9 +89,11 @@ class TransportObserver {
   // --- Failure-path events (reliability mode only) --------------------------
   // Attempt `attempt` (1-based retransmission count) of request `id` left
   // src for dst after the previous attempt timed out.
-  virtual void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt) {}
+  virtual void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt,
+                          uint64_t requester) {}
   // The operation gave up after `attempts` transmissions.
-  virtual void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts) {}
+  virtual void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts,
+                            uint64_t requester) {}
   // The receiver saw a duplicate of an already-served request and re-sent
   // the cached reply without re-running the service.
   virtual void OnRpcDuplicateSuppressed(Time when, NodeId node, uint64_t id) {}

@@ -253,7 +253,7 @@ void Kernel::TravelTo(NodeId node, Time arrive) {
   Post(arrive, [this, f, node] {
     f->node = node;
     if (sched_observer_ != nullptr) {
-      sched_observer_->OnFiberUnblock(queue_.now(), node, *f);
+      sched_observer_->OnFiberUnblock(queue_.now(), node, *f, /*waker_id=*/0, queue_.now());
     }
     EnqueueReady(f, queue_.now());
     TryDispatch(node);
@@ -314,11 +314,15 @@ void Kernel::Exit() {
 
 void Kernel::Wake(Fiber* f, Time t) {
   AMBER_DCHECK(t >= Now()) << "waking in the past";
-  Post(t, [this, f] {
+  // Capture the waker's identity now: by delivery time the waker may have
+  // exited (ids outlive Fiber records) and current_ is no longer it.
+  const uint64_t waker_id = current_ != nullptr ? current_->id : 0;
+  const Time wake_time = Now();
+  Post(t, [this, f, waker_id, wake_time] {
     AMBER_DCHECK(f->state == FiberState::kBlocked)
         << "waking fiber " << f->name << " in state " << static_cast<int>(f->state);
     if (sched_observer_ != nullptr) {
-      sched_observer_->OnFiberUnblock(queue_.now(), f->node, *f);
+      sched_observer_->OnFiberUnblock(queue_.now(), f->node, *f, waker_id, wake_time);
     }
     EnqueueReady(f, queue_.now());
     TryDispatch(f->node);

@@ -51,7 +51,13 @@ class SchedObserver {
   // departure).
   virtual void OnFiberBlock(Time when, NodeId node, const Fiber& f) {}
   // A blocked fiber became runnable again (Wake / migration arrival).
-  virtual void OnFiberUnblock(Time when, NodeId node, const Fiber& f) {}
+  // `waker_id` is the fiber id of the party that called Wake (0 when the
+  // wake came from event context — a timer, message delivery, or migration
+  // arrival) and `wake_time` is the waker's clock at the Wake call. Ids are
+  // passed rather than Fiber pointers because the waker may have exited —
+  // and its record been reclaimed — by the time the wake is delivered.
+  virtual void OnFiberUnblock(Time when, NodeId node, const Fiber& f, uint64_t waker_id,
+                              Time wake_time) {}
   // A running fiber was requeued involuntarily (quantum expiry, move-time
   // preemption) or yielded.
   virtual void OnFiberPreempt(Time when, NodeId node, const Fiber& f) {}

@@ -109,9 +109,17 @@ std::string Tracer::ObjLabel(const void* obj) {
   return "obj-" + std::to_string(it->second);
 }
 
+std::string Tracer::ThreadName(ThreadId tid) const {
+  const auto it = thread_names_.find(tid);
+  if (it != thread_names_.end()) {
+    return it->second;
+  }
+  return "t" + std::to_string(tid);
+}
+
 // --- Recording ------------------------------------------------------------------
 
-void Tracer::OnThreadMigrate(Time when, NodeId src, NodeId dst, const std::string& thread,
+void Tracer::OnThreadMigrate(Time when, NodeId src, NodeId dst, ThreadId thread,
                              int64_t bytes) {
   Event e;
   e.kind = EventKind::kThreadMigrate;
@@ -119,7 +127,7 @@ void Tracer::OnThreadMigrate(Time when, NodeId src, NodeId dst, const std::strin
   e.src = src;
   e.dst = dst;
   e.bytes = bytes;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
@@ -155,116 +163,125 @@ void Tracer::OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnThreadCreate(Time when, NodeId node, const std::string& thread) {
+void Tracer::OnThreadCreate(Time when, NodeId node, ThreadId thread, const std::string& name,
+                            ThreadId parent) {
+  (void)parent;
+  thread_names_[thread] = name;
   Event e;
   e.kind = EventKind::kThreadCreate;
   e.when = when;
   e.src = e.dst = node;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnThreadDispatch(Time when, NodeId node, const std::string& thread,
-                              Duration queue_wait) {
+void Tracer::OnThreadDispatch(Time when, NodeId node, ThreadId thread, Duration queue_wait) {
   Event e;
   e.kind = EventKind::kThreadDispatch;
   e.when = when;
   e.src = e.dst = node;
   e.dur = queue_wait;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnThreadBlock(Time when, NodeId node, const std::string& thread) {
+void Tracer::OnThreadBlock(Time when, NodeId node, ThreadId thread) {
   Event e;
   e.kind = EventKind::kThreadBlock;
   e.when = when;
   e.src = e.dst = node;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnThreadUnblock(Time when, NodeId node, const std::string& thread) {
+void Tracer::OnThreadUnblock(Time when, NodeId node, ThreadId thread, ThreadId waker,
+                             Time wake_time) {
+  (void)waker;
+  (void)wake_time;
   Event e;
   e.kind = EventKind::kThreadUnblock;
   e.when = when;
   e.src = e.dst = node;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnThreadPreempt(Time when, NodeId node, const std::string& thread) {
+void Tracer::OnThreadPreempt(Time when, NodeId node, ThreadId thread) {
   Event e;
   e.kind = EventKind::kThreadPreempt;
   e.when = when;
   e.src = e.dst = node;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnThreadExit(Time when, NodeId node, const std::string& thread) {
+void Tracer::OnThreadExit(Time when, NodeId node, ThreadId thread) {
   Event e;
   e.kind = EventKind::kThreadExit;
   e.when = when;
   e.src = e.dst = node;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnInvokeEnter(Time when, NodeId node, const std::string& thread,
-                           const std::string& object, bool remote) {
+void Tracer::OnInvokeEnter(Time when, NodeId node, ThreadId thread, const void* obj,
+                           const std::string& object, bool remote, NodeId origin,
+                           Duration entry_overhead) {
+  (void)obj;
+  (void)origin;
+  (void)entry_overhead;
   Event e;
   e.kind = EventKind::kInvokeEnter;
   e.when = when;
   e.src = e.dst = node;
   e.remote = remote;
-  e.label = thread + "\x1f" + object;  // renderer splits thread / object
+  e.tid = thread;
+  e.label = object;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnInvokeExit(Time when, NodeId node, const std::string& thread, Duration span,
-                          bool remote) {
+void Tracer::OnInvokeExit(Time when, NodeId node, ThreadId thread, Duration span, bool remote,
+                          Duration exit_overhead) {
+  (void)exit_overhead;
   Event e;
   e.kind = EventKind::kInvokeExit;
   e.when = when;
   e.src = e.dst = node;
   e.dur = span;
   e.remote = remote;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnLockBlocked(Time when, NodeId node, const std::string& thread, int lock) {
+void Tracer::OnLockBlocked(Time when, NodeId node, ThreadId thread, int lock) {
   Event e;
   e.kind = EventKind::kLockBlocked;
   e.when = when;
   e.src = e.dst = node;
   e.value = lock;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnLockAcquired(Time when, NodeId node, const std::string& thread, int lock,
-                            Duration wait) {
+void Tracer::OnLockAcquired(Time when, NodeId node, ThreadId thread, int lock, Duration wait) {
   Event e;
   e.kind = EventKind::kLockAcquired;
   e.when = when;
   e.src = e.dst = node;
   e.value = lock;
   e.dur = wait;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnLockReleased(Time when, NodeId node, const std::string& thread, int lock,
-                            Duration held) {
+void Tracer::OnLockReleased(Time when, NodeId node, ThreadId thread, int lock, Duration held) {
   Event e;
   e.kind = EventKind::kLockReleased;
   e.when = when;
   e.src = e.dst = node;
   e.value = lock;
   e.dur = held;
-  e.label = thread;
+  e.tid = thread;
   events_.push_back(std::move(e));
 }
 
@@ -278,7 +295,8 @@ void Tracer::OnConditionWake(Time when, NodeId node, int condition, int woken) {
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) {
+void Tracer::OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id,
+                          ThreadId requester) {
   Event e;
   e.kind = EventKind::kRpcRequest;
   e.when = depart;
@@ -286,6 +304,7 @@ void Tracer::OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, ui
   e.dst = dst;
   e.bytes = bytes;
   e.value = static_cast<int64_t>(id);
+  e.tid = requester;
   events_.push_back(std::move(e));
 }
 
@@ -350,7 +369,9 @@ void Tracer::OnNodeRestart(Time when, NodeId node) {
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt) {
+void Tracer::OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt,
+                        ThreadId requester) {
+  (void)requester;
   Event e;
   e.kind = EventKind::kRpcRetry;
   e.when = when;
@@ -361,7 +382,9 @@ void Tracer::OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int atte
   events_.push_back(std::move(e));
 }
 
-void Tracer::OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts) {
+void Tracer::OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts,
+                          ThreadId requester) {
+  (void)requester;
   Event e;
   e.kind = EventKind::kRpcTimeout;
   e.when = when;
@@ -387,44 +410,44 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
     max_node = std::max({max_node, e.src, e.dst});
   }
 
-  // Render-time pairing state, all keyed by thread name (stable).
+  // Render-time pairing state, all keyed by thread id (stable across runs).
   struct OpenSpan {
     Time start;
     NodeId node;
   };
-  std::map<std::string, OpenSpan> running;                 // open dispatch
-  std::map<std::string, std::vector<const Event*>> calls;  // invoke stack
-  std::map<std::string, int> migration_flow;               // awaiting arrival
-  std::map<int64_t, const Event*> rpc_requests;            // by rpc id
+  std::map<ThreadId, OpenSpan> running;                 // open dispatch
+  std::map<ThreadId, std::vector<const Event*>> calls;  // invoke stack
+  std::map<ThreadId, int> migration_flow;               // awaiting arrival
+  std::map<int64_t, const Event*> rpc_requests;         // by rpc id
   int next_flow = 0;
 
   for (const Event& e : events_) {
     switch (e.kind) {
       case EventKind::kThreadDispatch:
-        running[e.label] = OpenSpan{e.when, e.src};
+        running[e.tid] = OpenSpan{e.when, e.src};
         break;
       case EventKind::kThreadBlock:
       case EventKind::kThreadPreempt:
       case EventKind::kThreadExit: {
-        auto it = running.find(e.label);
+        auto it = running.find(e.tid);
         if (it != running.end()) {
           std::snprintf(buf, sizeof(buf),
                         "{\"name\":\"running\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
                         "\"pid\":%d,\"tid\":\"%s (cpu)\",\"cat\":\"sched\"}",
                         Us(it->second.start), Us(e.when - it->second.start), it->second.node,
-                        Escape(e.label).c_str());
+                        Escape(ThreadName(e.tid)).c_str());
           add(Us(it->second.start), buf);
           running.erase(it);
         }
         break;
       }
       case EventKind::kThreadUnblock: {
-        auto it = migration_flow.find(e.label);
+        auto it = migration_flow.find(e.tid);
         if (it != migration_flow.end()) {
           std::snprintf(buf, sizeof(buf),
                         "{\"name\":\"migrate\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
                         "\"id\":%d,\"ts\":%.3f,\"pid\":%d,\"tid\":\"%s (cpu)\"}",
-                        it->second, Us(e.when), e.src, Escape(e.label).c_str());
+                        it->second, Us(e.when), e.src, Escape(ThreadName(e.tid)).c_str());
           add(Us(e.when), buf);
           migration_flow.erase(it);
         }
@@ -432,36 +455,35 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
       }
       case EventKind::kThreadMigrate: {
         const int id = next_flow++;
-        migration_flow[e.label] = id;
+        migration_flow[e.tid] = id;
         std::snprintf(buf, sizeof(buf),
                       "{\"name\":\"migrate\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%d,"
                       "\"ts\":%.3f,\"pid\":%d,\"tid\":\"%s (cpu)\"}",
-                      id, Us(e.when), e.src, Escape(e.label).c_str());
+                      id, Us(e.when), e.src, Escape(ThreadName(e.tid)).c_str());
         add(Us(e.when), buf);
         std::snprintf(buf, sizeof(buf),
                       "{\"name\":\"thread-migrate %s %d->%d\",\"ph\":\"i\",\"ts\":%.3f,"
                       "\"pid\":%d,\"tid\":\"%s (cpu)\",\"s\":\"p\",\"cat\":\"migration\","
                       "\"args\":{\"bytes\":%lld}}",
-                      Escape(e.label).c_str(), e.src, e.dst, Us(e.when), e.src,
-                      Escape(e.label).c_str(), static_cast<long long>(e.bytes));
+                      Escape(ThreadName(e.tid)).c_str(), e.src, e.dst, Us(e.when), e.src,
+                      Escape(ThreadName(e.tid)).c_str(), static_cast<long long>(e.bytes));
         add(Us(e.when), buf);
         break;
       }
       case EventKind::kInvokeEnter:
-        calls[e.label.substr(0, e.label.find('\x1f'))].push_back(&e);
+        calls[e.tid].push_back(&e);
         break;
       case EventKind::kInvokeExit: {
-        auto it = calls.find(e.label);
+        auto it = calls.find(e.tid);
         if (it != calls.end() && !it->second.empty()) {
           const Event* enter = it->second.back();
           it->second.pop_back();
-          const size_t sep = enter->label.find('\x1f');
-          const std::string object = enter->label.substr(sep + 1);
           std::snprintf(buf, sizeof(buf),
                         "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
                         "\"tid\":\"%s\",\"cat\":\"invoke\",\"args\":{\"remote\":%s}}",
-                        Escape(object).c_str(), Us(enter->when), Us(e.when - enter->when),
-                        enter->src, Escape(e.label).c_str(), enter->remote ? "true" : "false");
+                        Escape(enter->label).c_str(), Us(enter->when), Us(e.when - enter->when),
+                        enter->src, Escape(ThreadName(e.tid)).c_str(),
+                        enter->remote ? "true" : "false");
           add(Us(enter->when), buf);
         }
         break;
@@ -511,7 +533,7 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
                       "{\"name\":\"%s lock-%lld\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,"
                       "\"tid\":\"%s\",\"s\":\"t\",\"cat\":\"sync\",\"args\":{\"ns\":%lld}}",
                       KindName(e.kind), static_cast<long long>(e.value), Us(e.when), e.src,
-                      Escape(e.label).c_str(), static_cast<long long>(e.dur));
+                      Escape(ThreadName(e.tid)).c_str(), static_cast<long long>(e.dur));
         add(Us(e.when), buf);
         break;
       case EventKind::kConditionWake:
@@ -527,7 +549,8 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
         std::snprintf(buf, sizeof(buf),
                       "{\"name\":\"thread-create %s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":%d,"
                       "\"tid\":\"%s (cpu)\",\"s\":\"t\",\"cat\":\"sched\"}",
-                      Escape(e.label).c_str(), Us(e.when), e.src, Escape(e.label).c_str());
+                      Escape(ThreadName(e.tid)).c_str(), Us(e.when), e.src,
+                      Escape(ThreadName(e.tid)).c_str());
         add(Us(e.when), buf);
         break;
       case EventKind::kObjectMove:
@@ -613,10 +636,28 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
 void Tracer::WriteText(std::ostream& out) const {
   char buf[320];
   for (const Event& e : events_) {
-    std::string label = e.label;
-    const size_t sep = label.find('\x1f');
-    if (sep != std::string::npos) {
-      label = label.substr(0, sep) + " " + label.substr(sep + 1);
+    // Reconstruct the human label: acting thread's name, then any event
+    // label (object or reason) after a space — matching the pre-ThreadId
+    // format byte for byte.
+    std::string label;
+    switch (e.kind) {
+      case EventKind::kRpcRequest:
+      case EventKind::kRpcRetry:
+      case EventKind::kRpcTimeout:
+        // These carried no thread name before ids existed; keep them bare.
+        label = e.label;
+        break;
+      default:
+        if (e.tid != 0) {
+          label = ThreadName(e.tid);
+        }
+        if (!e.label.empty()) {
+          if (!label.empty()) {
+            label += " ";
+          }
+          label += e.label;
+        }
+        break;
     }
     std::snprintf(buf, sizeof(buf), "%12.3f ms  %-16s %d -> %d  %8lld B  %s\n",
                   static_cast<double>(e.when) / 1e6, KindName(e.kind), e.src, e.dst,

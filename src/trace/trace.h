@@ -8,6 +8,11 @@
 // log. Deterministic runs produce byte-identical traces, so traces diff
 // cleanly across changes.
 //
+// Thread identity arrives as a stable integer id (amber::ThreadId); the
+// tracer learns each id's name once from OnThreadCreate and keeps an
+// id -> name side table, so recording an event never allocates for the
+// thread name. Renderers resolve names at write time.
+//
 // Events are recorded in delivery order. Distribution events are globally
 // nondecreasing in time; scheduler/invocation/contention events can run a
 // context-switch ahead of the event clock (fiber-context emission), so
@@ -22,7 +27,8 @@
 //   * instants for moves, replica installs and lock/condition activity;
 //   * process_name metadata naming each node.
 //
-// Attach with Runtime::SetObserver(&tracer) before Run().
+// Attach with Runtime::SetObserver(&tracer) — or alongside other observers
+// with Runtime::AddObserver(&tracer) — before Run().
 
 #ifndef AMBER_SRC_TRACE_TRACE_H_
 #define AMBER_SRC_TRACE_TRACE_H_
@@ -39,6 +45,7 @@ namespace trace {
 
 using amber::Duration;
 using amber::NodeId;
+using amber::ThreadId;
 using amber::Time;
 
 enum class EventKind : uint8_t {
@@ -87,42 +94,47 @@ struct Event {
   int64_t bytes = 0;
   Duration dur = 0;     // invoke span, dispatch queue-wait, lock wait/hold
   int64_t value = 0;    // lock/condition id, wakeup count, rpc id
+  ThreadId tid = 0;     // acting thread (0 = none / event context)
   bool remote = false;  // invocation required a migration
-  std::string label;    // thread name or object label
+  std::string label;    // object label or drop reason (thread names live in
+                        // the tracer's id -> name table, resolved at render)
 };
 
 class Tracer : public amber::RuntimeObserver {
  public:
   // --- RuntimeObserver: distribution ----------------------------------------
-  void OnThreadMigrate(Time when, NodeId src, NodeId dst, const std::string& thread,
+  void OnThreadMigrate(Time when, NodeId src, NodeId dst, ThreadId thread,
                        int64_t bytes) override;
   void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst, int64_t bytes) override;
   void OnReplicaInstall(Time when, const void* obj, NodeId node) override;
   void OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) override;
 
   // --- RuntimeObserver: scheduler -------------------------------------------
-  void OnThreadCreate(Time when, NodeId node, const std::string& thread) override;
-  void OnThreadDispatch(Time when, NodeId node, const std::string& thread,
-                        Duration queue_wait) override;
-  void OnThreadBlock(Time when, NodeId node, const std::string& thread) override;
-  void OnThreadUnblock(Time when, NodeId node, const std::string& thread) override;
-  void OnThreadPreempt(Time when, NodeId node, const std::string& thread) override;
-  void OnThreadExit(Time when, NodeId node, const std::string& thread) override;
+  void OnThreadCreate(Time when, NodeId node, ThreadId thread, const std::string& name,
+                      ThreadId parent) override;
+  void OnThreadDispatch(Time when, NodeId node, ThreadId thread, Duration queue_wait) override;
+  void OnThreadBlock(Time when, NodeId node, ThreadId thread) override;
+  void OnThreadUnblock(Time when, NodeId node, ThreadId thread, ThreadId waker,
+                       Time wake_time) override;
+  void OnThreadPreempt(Time when, NodeId node, ThreadId thread) override;
+  void OnThreadExit(Time when, NodeId node, ThreadId thread) override;
 
   // --- RuntimeObserver: invocation spans ------------------------------------
-  void OnInvokeEnter(Time when, NodeId node, const std::string& thread,
-                     const std::string& object, bool remote) override;
-  void OnInvokeExit(Time when, NodeId node, const std::string& thread, Duration span,
-                    bool remote) override;
+  void OnInvokeEnter(Time when, NodeId node, ThreadId thread, const void* obj,
+                     const std::string& object, bool remote, NodeId origin,
+                     Duration entry_overhead) override;
+  void OnInvokeExit(Time when, NodeId node, ThreadId thread, Duration span, bool remote,
+                    Duration exit_overhead) override;
 
   // --- RuntimeObserver: contention ------------------------------------------
-  void OnLockBlocked(Time when, NodeId node, const std::string& thread, int lock) override;
-  void OnLockAcquired(Time when, NodeId node, const std::string& thread, int lock,
+  void OnLockBlocked(Time when, NodeId node, ThreadId thread, int lock) override;
+  void OnLockAcquired(Time when, NodeId node, ThreadId thread, int lock,
                       Duration wait) override;
-  void OnLockReleased(Time when, NodeId node, const std::string& thread, int lock,
+  void OnLockReleased(Time when, NodeId node, ThreadId thread, int lock,
                       Duration held) override;
   void OnConditionWake(Time when, NodeId node, int condition, int woken) override;
-  void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id) override;
+  void OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id,
+                    ThreadId requester) override;
   void OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
                      uint64_t id) override;
 
@@ -133,8 +145,10 @@ class Tracer : public amber::RuntimeObserver {
   void OnMessageDelayed(Time when, NodeId src, NodeId dst, Duration extra) override;
   void OnNodeCrash(Time when, NodeId node) override;
   void OnNodeRestart(Time when, NodeId node) override;
-  void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt) override;
-  void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts) override;
+  void OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt,
+                  ThreadId requester) override;
+  void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts,
+                    ThreadId requester) override;
 
   // --- Access / rendering ------------------------------------------------------
 
@@ -143,7 +157,11 @@ class Tracer : public amber::RuntimeObserver {
   void Clear() {
     events_.clear();
     obj_ids_.clear();
+    thread_names_.clear();
   }
+
+  // Name recorded for a thread id ("t<id>" if its creation was not seen).
+  std::string ThreadName(ThreadId tid) const;
 
   // chrome://tracing "trace event format" JSON; see the header comment for
   // the mapping. pid = node, tid = thread (or "net" / "rpc" rows).
@@ -159,6 +177,7 @@ class Tracer : public amber::RuntimeObserver {
 
   std::vector<Event> events_;
   std::unordered_map<const void*, int> obj_ids_;
+  std::unordered_map<ThreadId, std::string> thread_names_;
 };
 
 }  // namespace trace

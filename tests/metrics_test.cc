@@ -141,6 +141,30 @@ TEST(RegistryTest, RuntimeCoreMetrics) {
   // Each hold spans at least the 2ms critical section.
   EXPECT_GE(holds->at("total").min(), 2.0 * kMillisecond);
 
+  // Per-lock wait/hold distributions, labelled "lock<id>" (dense ids in
+  // first-contention order) — the placement advisor's raw material.
+  const auto* lock_waits = reg.FindHistograms("lock.wait_ns");
+  ASSERT_NE(lock_waits, nullptr);
+  ASSERT_FALSE(lock_waits->empty());
+  const auto* lock_holds = reg.FindHistograms("lock.hold_ns");
+  ASSERT_NE(lock_holds, nullptr);
+  int64_t lock_wait_count = 0;
+  double max_wait = 0.0;
+  for (const auto& [label, h] : *lock_waits) {
+    EXPECT_EQ(label.rfind("lock", 0), 0u) << "unexpected label " << label;
+    lock_wait_count += h.count();
+    max_wait = std::max(max_wait, h.max());
+  }
+  EXPECT_GE(lock_wait_count, 1);   // at least one contended acquisition
+  EXPECT_GT(max_wait, 0.0);        // which actually waited
+  // The contended lock's hold series is labelled identically, so the two
+  // families join on the lock id.
+  for (const auto& [label, h] : *lock_waits) {
+    EXPECT_TRUE(lock_holds->count(label))
+        << "lock.wait_ns label " << label << " has no lock.hold_ns series";
+    EXPECT_GE(lock_holds->at(label).min(), 2.0 * kMillisecond);
+  }
+
   // Scheduler metrics.
   EXPECT_GT(reg.CounterTotal("sched.threads.created"), 0);
   const auto* waits = reg.FindHistograms("sched.runqueue.wait");

@@ -1,6 +1,8 @@
 // Tests for the RuntimeObserver event bus: exact scheduler/invocation event
 // sequences on a deterministic 2-node scenario, span nesting, block/unblock
-// pairing, and zero virtual-time impact of attaching an observer.
+// pairing, zero virtual-time impact of attaching an observer, and multi-
+// observer fan-out (identical delivery order; mid-run detach of one observer
+// does not perturb the others).
 
 #include <gtest/gtest.h>
 
@@ -33,7 +35,9 @@ Runtime::Config TestConfig() {
   return c;
 }
 
-// Records every event as a compact line: "kind thread @node".
+// Records every event as a compact line: "kind thread @node". Thread names
+// are resolved through the id -> name table built from OnThreadCreate —
+// events themselves carry only the integer ThreadId.
 class Recorder : public RuntimeObserver {
  public:
   struct Rec {
@@ -43,31 +47,35 @@ class Recorder : public RuntimeObserver {
     Time when = 0;
   };
 
-  void OnThreadCreate(Time when, NodeId node, const std::string& thread) override {
+  void OnThreadCreate(Time when, NodeId node, ThreadId thread, const std::string& name,
+                      ThreadId /*parent*/) override {
+    names_[thread] = name;
     Add("create", thread, node, when);
   }
-  void OnThreadDispatch(Time when, NodeId node, const std::string& thread,
+  void OnThreadDispatch(Time when, NodeId node, ThreadId thread,
                         Duration /*queue_wait*/) override {
     Add("dispatch", thread, node, when);
   }
-  void OnThreadBlock(Time when, NodeId node, const std::string& thread) override {
+  void OnThreadBlock(Time when, NodeId node, ThreadId thread) override {
     Add("block", thread, node, when);
   }
-  void OnThreadUnblock(Time when, NodeId node, const std::string& thread) override {
+  void OnThreadUnblock(Time when, NodeId node, ThreadId thread, ThreadId /*waker*/,
+                       Time /*wake_time*/) override {
     Add("unblock", thread, node, when);
   }
-  void OnThreadPreempt(Time when, NodeId node, const std::string& thread) override {
+  void OnThreadPreempt(Time when, NodeId node, ThreadId thread) override {
     Add("preempt", thread, node, when);
   }
-  void OnThreadExit(Time when, NodeId node, const std::string& thread) override {
+  void OnThreadExit(Time when, NodeId node, ThreadId thread) override {
     Add("exit", thread, node, when);
   }
-  void OnInvokeEnter(Time when, NodeId node, const std::string& thread,
-                     const std::string& /*object*/, bool remote) override {
+  void OnInvokeEnter(Time when, NodeId node, ThreadId thread, const void* /*obj*/,
+                     const std::string& /*object*/, bool remote, NodeId /*origin*/,
+                     Duration /*entry_overhead*/) override {
     Add(remote ? "enter-remote" : "enter", thread, node, when);
   }
-  void OnInvokeExit(Time when, NodeId node, const std::string& thread, Duration /*span*/,
-                    bool remote) override {
+  void OnInvokeExit(Time when, NodeId node, ThreadId thread, Duration /*span*/, bool remote,
+                    Duration /*exit_overhead*/) override {
     Add(remote ? "exit-remote-invoke" : "exit-invoke", thread, node, when);
   }
 
@@ -84,11 +92,23 @@ class Recorder : public RuntimeObserver {
     return out.str();
   }
 
- private:
-  void Add(std::string kind, std::string thread, NodeId node, Time when) {
-    recs_.push_back(Rec{std::move(kind), std::move(thread), node, when});
+  // Full dump of everything recorded, for whole-run comparisons.
+  std::string Dump() const {
+    std::ostringstream out;
+    for (const Rec& r : recs_) {
+      out << r.kind << " " << r.thread << " " << r.node << " " << r.when << "\n";
+    }
+    return out.str();
   }
 
+ private:
+  void Add(std::string kind, ThreadId thread, NodeId node, Time when) {
+    const auto it = names_.find(thread);
+    std::string name = it != names_.end() ? it->second : "t" + std::to_string(thread);
+    recs_.push_back(Rec{std::move(kind), std::move(name), node, when});
+  }
+
+  std::map<ThreadId, std::string> names_;
   std::vector<Rec> recs_;
 };
 
@@ -119,11 +139,7 @@ TEST(ObserverTest, SequencesAreDeterministic) {
     Recorder rec;
     rt.SetObserver(&rec);
     RunScenario(rt);
-    std::ostringstream out;
-    for (const auto& r : rec.recs()) {
-      out << r.kind << " " << r.thread << " " << r.node << " " << r.when << "\n";
-    }
-    return out.str();
+    return rec.Dump();
   };
   EXPECT_EQ(once(), once());
 }
@@ -212,6 +228,92 @@ TEST(ObserverTest, ObserverDoesNotChangeVirtualTime) {
   const Time without = run(nullptr);
   EXPECT_GT(rec.recs().size(), 0u);
   EXPECT_EQ(with, without);
+}
+
+// --- Multi-observer fan-out ---------------------------------------------------
+
+// Every attached observer receives every event, in the same deterministic
+// order (attachment order decides only who is called first for a given
+// event, not which events are seen).
+TEST(ObserverTest, FanOutDeliversIdenticalSequences) {
+  Runtime rt(TestConfig());
+  Recorder a;
+  Recorder b;
+  rt.AddObserver(&a);
+  rt.AddObserver(&b);
+  RunScenario(rt);
+  EXPECT_GT(a.recs().size(), 0u);
+  EXPECT_EQ(a.Dump(), b.Dump());
+}
+
+// Fan-out does not perturb virtual time either: two observers cost the same
+// zero virtual time as none.
+TEST(ObserverTest, FanOutDoesNotChangeVirtualTime) {
+  auto run = [](int observers) {
+    Runtime rt(TestConfig());
+    Recorder a;
+    Recorder b;
+    if (observers > 0) {
+      rt.AddObserver(&a);
+    }
+    if (observers > 1) {
+      rt.AddObserver(&b);
+    }
+    Time end = 0;
+    rt.Run([&] {
+      auto thing = NewOn<Thing>(1);
+      auto t = StartThreadNamed("worker", 0, thing, &Thing::Poke);
+      t.Join();
+      end = Now();
+    });
+    return end;
+  };
+  EXPECT_EQ(run(0), run(1));
+  EXPECT_EQ(run(1), run(2));
+}
+
+// Detaching one observer mid-run stops its event flow but leaves the other
+// observers' streams — and the run itself — untouched.
+TEST(ObserverTest, MidRunDetachDoesNotPerturbSurvivor) {
+  // Reference: a full run recorded by a single observer.
+  Recorder solo;
+  {
+    Runtime rt(TestConfig());
+    rt.AddObserver(&solo);
+    rt.Run([&] {
+      auto thing = NewOn<Thing>(1);
+      auto t1 = StartThreadNamed("w1", 0, thing, &Thing::Poke);
+      t1.Join();
+      auto t2 = StartThreadNamed("w2", 0, thing, &Thing::Poke);
+      t2.Join();
+    });
+  }
+
+  // Same scenario with a second observer that is detached halfway through.
+  Recorder survivor;
+  Recorder detached;
+  {
+    Runtime rt(TestConfig());
+    rt.AddObserver(&survivor);
+    rt.AddObserver(&detached);
+    rt.Run([&] {
+      auto thing = NewOn<Thing>(1);
+      auto t1 = StartThreadNamed("w1", 0, thing, &Thing::Poke);
+      t1.Join();
+      rt.RemoveObserver(&detached);
+      auto t2 = StartThreadNamed("w2", 0, thing, &Thing::Poke);
+      t2.Join();
+    });
+  }
+
+  EXPECT_EQ(survivor.Dump(), solo.Dump());
+  // The detached observer saw a strict prefix of the survivor's stream.
+  EXPECT_LT(detached.recs().size(), survivor.recs().size());
+  EXPECT_GT(detached.recs().size(), 0u);
+  const std::string full = survivor.Dump();
+  const std::string prefix = detached.Dump();
+  EXPECT_EQ(full.compare(0, prefix.size(), prefix), 0)
+      << "detached observer's stream is not a prefix of the survivor's";
 }
 
 }  // namespace
