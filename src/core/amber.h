@@ -110,6 +110,33 @@ void MakeImmutable(Ref<T> ref) {
   Runtime::Current().MakeImmutable(ref.object());
 }
 
+// --- Crash recovery and planned shutdown (docs/FAULTS.md) --------------------
+
+// Opts a mutable primary object into checkpoint/restore crash recovery: its
+// bytes (Object::AmberSaveState) are checkpointed to a buddy node after
+// every successful move and at every explicit Checkpoint call, and a crash
+// of its node restores the *last checkpoint* on the buddy (a documented
+// staleness window — work since the checkpoint is lost and must be
+// idempotently re-run by the application). No-op cost in fault-free runs.
+template <typename T>
+void SetRecoverable(Ref<T> ref) {
+  Runtime::Current().SetRecoverable(ref.object());
+}
+
+// Checkpoints a recoverable object at a quiescent point. Returns true once
+// the checkpoint reached its buddy node; false means the transfer was lost
+// (retry — a fresh buddy is elected each call if the old one is suspected).
+template <typename T>
+bool Checkpoint(Ref<T> ref) {
+  return Runtime::Current().CheckpointObject(ref.object());
+}
+
+// Planned shutdown: evacuates every mobile primary object homed on `node`
+// to the remaining live nodes (attach groups move as units; threads follow
+// their objects through the §3.5 residency re-check). Returns the number of
+// evacuated objects.
+inline int DrainNode(NodeId node) { return Runtime::Current().DrainNode(node); }
+
 // --- Time, placement, scheduling --------------------------------------------
 
 // Consumes `d` of CPU time on the calling thread (application computation).

@@ -1,8 +1,31 @@
 #include "src/core/object.h"
 
+#include <cstring>
+
+#include "src/base/panic.h"
 #include "src/core/runtime.h"
 
 namespace amber {
+
+void Object::AmberSaveState(std::vector<uint8_t>* out) const {
+  // Raw copy of the derived representation (everything in the segment past
+  // the Object base, which holds the descriptor). header_.size is the
+  // segment size recorded at New<T>; host-constructed objects have none.
+  out->clear();
+  if (header_.size > sizeof(Object)) {
+    const auto* base = reinterpret_cast<const uint8_t*>(this);
+    out->assign(base + sizeof(Object), base + header_.size);
+  }
+}
+
+void Object::AmberLoadState(const uint8_t* data, size_t size) {
+  if (size > 0) {
+    AMBER_CHECK(size == header_.size - sizeof(Object))
+        << "checkpoint size mismatch: saved " << size << " bytes into a segment of "
+        << header_.size;
+    std::memcpy(reinterpret_cast<uint8_t*>(this) + sizeof(Object), data, size);
+  }
+}
 
 Object::Object() {
   header_.magic = ObjectHeader::kMagic;

@@ -17,6 +17,9 @@
 #ifndef AMBER_SRC_CORE_OBJECT_H_
 #define AMBER_SRC_CORE_OBJECT_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "src/kernel/object_header.h"
 
 namespace amber {
@@ -41,6 +44,15 @@ class Object {
   // classes with out-of-line state that should travel on moves — the manual
   // serialization burden of the era; the default assumes none.
   virtual int64_t AmberPayloadBytes() const { return 0; }
+
+  // Checkpoint hooks for amber::SetRecoverable (docs/FAULTS.md). The default
+  // raw-copies the derived part of the object's segment, which is correct
+  // only for trivially-copyable representations; classes with out-of-line
+  // state (the AmberPayloadBytes cases) must override both symmetrically.
+  // Save runs at a quiescent point; Load rebuilds the object from a prior
+  // Save's bytes on the recovery buddy after the home node crashed.
+  virtual void AmberSaveState(std::vector<uint8_t>* out) const;
+  virtual void AmberLoadState(const uint8_t* data, size_t size);
 
  protected:
   Object();

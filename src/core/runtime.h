@@ -23,6 +23,7 @@
 #include "src/base/time.h"
 #include "src/core/status.h"
 #include "src/fault/fault.h"
+#include "src/fault/membership.h"
 #include "src/kernel/descriptor_table.h"
 #include "src/mem/address_space.h"
 #include "src/mem/region_server.h"
@@ -144,6 +145,26 @@ class RuntimeObserver {
   // move-ack timeouts) — blocked time that is the fault's fault, not the
   // network's.
   virtual void OnFailureBackoff(Time when, NodeId node, ThreadId thread, Duration backoff) {}
+
+  // --- Membership / recovery events (fault-injected runs only) ---------------
+  // `by`'s heartbeat lease on `node` expired (OnNodeSuspected) or a
+  // heartbeat from a suspected node arrived again (OnNodeTrusted). Protocol
+  // opinions, not ground truth — tests grade them against the injector.
+  virtual void OnNodeSuspected(Time when, NodeId by, NodeId node) {}
+  virtual void OnNodeTrusted(Time when, NodeId by, NodeId node) {}
+  // `thread` started / finished a recovery episode for `obj` (replica
+  // re-bind or checkpoint restore). The critical-path profiler tiles the
+  // enclosed waiting into its `recovery` category.
+  virtual void OnRecoveryStart(Time when, NodeId node, ThreadId thread, const void* obj) {}
+  virtual void OnRecoveryEnd(Time when, NodeId node, ThreadId thread, const void* obj,
+                             bool ok) {}
+  // `obj` was re-homed from dead node `from` to `to`: an immutable object
+  // re-bound to a surviving replica (from_checkpoint=false) or a mutable
+  // object restored from its buddy checkpoint (from_checkpoint=true).
+  virtual void OnObjectRecovered(Time when, const void* obj, NodeId from, NodeId to,
+                                 bool from_checkpoint) {}
+  // DrainNode finished evacuating `node`.
+  virtual void OnNodeDrained(Time when, NodeId node, int objects_moved) {}
 };
 
 // --- Failure-aware semantics ---------------------------------------------------
@@ -152,10 +173,14 @@ class RuntimeObserver {
 // the target object — its node crashed, or a partition outlived the whole
 // retransmission budget — the runtime consults the failure handler instead
 // of hanging. kRetry backs off and re-chases (the node may restart or the
-// partition heal); kAbort (or no handler installed) panics with a typed
-// diagnosis — a *detected* fail-stop, never a silent hang.
+// partition heal); kRecover first attempts crash recovery (re-bind an
+// immutable object to a surviving replica, or restore a SetRecoverable
+// object from its buddy checkpoint — docs/FAULTS.md) and degrades to the
+// kRetry backoff when the object is unrecoverable; kAbort (or no handler
+// installed) panics with a typed diagnosis — a *detected* fail-stop, never
+// a silent hang.
 
-enum class FailureAction : uint8_t { kAbort, kRetry };
+enum class FailureAction : uint8_t { kAbort, kRetry, kRecover };
 
 struct FailureEvent {
   Status status = Status::kUnreachable;
@@ -253,6 +278,27 @@ class Runtime {
   // replicates instead of migrating.
   void MakeImmutable(Object* obj);
 
+  // --- Crash recovery / planned shutdown (docs/FAULTS.md) --------------------
+
+  // Opts a mutable, unattached primary into checkpoint/restore recovery:
+  // an initial checkpoint ships to a buddy node now (fault-injected runs),
+  // and every successful MoveTo / explicit CheckpointObject refreshes it.
+  void SetRecoverable(Object* obj);
+
+  // Checkpoints a recoverable object's bytes (AmberSaveState) to the lowest
+  // non-suspected node other than its owner. Returns true when the transfer
+  // was delivered; false (lost frame / no live buddy) means the previous
+  // checkpoint — if any — remains the restore point. Inert without an
+  // active fault plan (returns true, ships nothing).
+  bool CheckpointObject(Object* obj);
+
+  // Planned shutdown of `node`: moves every unattached mobile primary homed
+  // there to the remaining non-suspected nodes round-robin (attach groups
+  // move with their root; bound threads follow through the §3.5 residency
+  // re-check). Immutable objects are re-homed to a live replica. Returns
+  // the number of evacuated roots.
+  int DrainNode(NodeId node);
+
   // --- Threads ---------------------------------------------------------------
 
   // Creates a thread object + stack + fiber on the current node running
@@ -260,7 +306,10 @@ class Runtime {
   ThreadObject* CreateThread(std::function<void()> body, std::string name, int priority = 0);
 
   // Blocks until t finishes (call with the joiner's frame already on t).
-  void JoinWait(ThreadObject* t);
+  // Returns true when the join completed. With fail_aware set, a *lost*
+  // thread (its node suspected down) returns false instead of consulting
+  // the failure handler — the ThreadRef::TryJoin path.
+  bool JoinWait(ThreadObject* t, bool fail_aware = false);
 
   ThreadObject* current_thread() const;
 
@@ -335,6 +384,9 @@ class Runtime {
   sim::Kernel& sim() { return *sim_; }
   net::Network& network() { return *net_; }
   rpc::Transport& transport() { return *rpc_; }
+  // The heartbeat membership service; non-null only while a fault plan is
+  // active (SetFaultInjector with a non-empty plan).
+  fault::Membership* membership() { return membership_.get(); }
   const sim::CostModel& cost() const { return sim_->cost(); }
   DescriptorTable& table(NodeId node);
   mem::GlobalAddressSpace& address_space() { return *gas_; }
@@ -391,8 +443,37 @@ class Runtime {
   NodeId BroadcastLocate(Object* obj);
 
   // Consults the failure handler (see SetFailureHandler); panics on kAbort
-  // or when none is installed. Returns only with kRetry, after backoff.
-  void HandleUnreachable(const Object* obj, NodeId node, int attempts);
+  // or when none is installed. Returns after backoff (kRetry) or after a
+  // recovery attempt (kRecover; an unrecoverable object degrades to the
+  // kRetry backoff so the caller re-probes).
+  void HandleUnreachable(Object* obj, NodeId node, int attempts);
+
+  // --- Crash recovery internals (docs/FAULTS.md) -----------------------------
+
+  // kRecover dispatch: re-binds immutable obj to a surviving replica or
+  // restores a checkpointed mutable obj on its buddy. Returns true when the
+  // object has a live home afterwards.
+  bool RecoverObject(Object* obj, NodeId dead);
+  // Probes the non-suspected nodes in ascending order for a replica of
+  // immutable obj; the lowest holder becomes the new home (deterministic
+  // election — every recovering thread picks the same winner).
+  bool RecoverImmutable(Object* obj, NodeId dead);
+  // Restores obj's last checkpoint on its buddy node (idempotent: concurrent
+  // recoverers agree because the restore service no-ops once resident).
+  bool RecoverMutable(Object* obj, NodeId dead);
+  // Refreshes the buddy checkpoint after a successful move of a recoverable
+  // object (quiescent point: the object just landed and is not mid-write).
+  void MaybeRecheckpoint(Object* obj);
+  // Membership suspicion/trust callbacks (virtual-time ordered): lost-thread
+  // marking, detection metrics graded against the injector oracle.
+  void OnPeerSuspected(Time when, NodeId by, NodeId peer);
+  void OnPeerTrusted(Time when, NodeId by, NodeId peer);
+  // Semantic crash/restart hook from the injector (not the observability
+  // sink): ground-truth timestamps for detection-latency metrics, and
+  // boot-time reconciliation of a restarted node's stale descriptors.
+  void OnNodeEvent(Time when, NodeId node, bool up);
+  void NotifyRecoveryStart(const Object* obj);
+  void NotifyRecoveryEnd(const Object* obj, bool ok);
 
   // Fetches a replica of immutable obj from `from` (following the chain with
   // further roundtrips if stale) and installs it locally.
@@ -464,6 +545,26 @@ class Runtime {
   std::vector<RuntimeObserver*> observers_;
   metrics::Registry* metrics_ = nullptr;
   fault::Injector* injector_ = nullptr;
+  // Heartbeat/lease failure detector, created by SetFaultInjector for active
+  // plans only — the runtime's repair/recovery paths ask it, never the
+  // injector oracle. Null in fault-free runs.
+  std::unique_ptr<fault::Membership> membership_;
+  // Last checkpoint of each SetRecoverable object: serialized bytes + the
+  // buddy node holding them (conceptually; the bytes travelled there on the
+  // wire, we keep the authoritative copy host-side like the replica model).
+  struct CheckpointRecord {
+    std::vector<uint8_t> bytes;
+    NodeId buddy = kNoNode;
+    Time when = 0;
+  };
+  std::unordered_map<Object*, CheckpointRecord> checkpoints_;
+  // Creation-sequence number per live primary: the deterministic iteration
+  // order for DrainNode and the object label on fault.unreachable (pointer
+  // order would vary with arena layout).
+  std::unordered_map<const Object*, uint64_t> obj_seq_;
+  uint64_t next_obj_seq_ = 1;
+  // Ground-truth crash instants (injector hook) for member.detect_latency.
+  std::vector<Time> crash_time_;
   FailureHandler failure_handler_;
   // Bridges sim::SchedObserver / rpc::TransportObserver callbacks into the
   // RuntimeObserver + registry; allocated on demand (see runtime.cc).

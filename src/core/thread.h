@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "src/core/object.h"
@@ -35,6 +36,12 @@ class ThreadObject final : public Object {
 
   const std::string& name() const { return name_; }
   bool finished() const { return finished_; }
+
+  // True while the thread's node is suspected down (membership lease
+  // expired). Cleared if the node restarts; a lost thread's joiners get the
+  // FailureHandler treatment (or a false TryJoin) instead of blocking
+  // forever. See docs/FAULTS.md.
+  bool lost() const { return lost_; }
 
   // Stores the operation result for Join (used by the StartThread wrapper).
   void set_result(std::shared_ptr<void> r) { result_ = std::move(r); }
@@ -55,6 +62,7 @@ class ThreadObject final : public Object {
   bool finished_ = false;
   bool joined_ = false;
   bool reaped_ = false;
+  bool lost_ = false;  // node suspected down; see lost()
 };
 
 // Typed handle to a started thread.
@@ -78,6 +86,21 @@ class ThreadRef {
       rt.ExitInvocation(rpc::WireSizeOf(out));
       return out;
     }
+  }
+
+  // Failure-aware join: true once the thread has terminated (reaping it,
+  // like Join — at most one success per thread); false if the thread is
+  // currently *lost*, i.e. its node is suspected down. Unlike Join the
+  // caller does not migrate to the thread object, and a false return leaves
+  // the thread joinable again — it may yet finish after a node restart, or
+  // the caller re-runs the work elsewhere (the bench_chaos recovery driver).
+  bool TryJoin() { return Runtime::Current().JoinWait(t_, /*fail_aware=*/true); }
+
+  // The operation's result after a successful TryJoin() (Join() returns it
+  // directly). Only meaningful for non-void R and after TryJoin() == true.
+  template <typename U = R, typename = std::enable_if_t<!std::is_void_v<U>>>
+  U result() const {
+    return *std::static_pointer_cast<U>(t_->result_);
   }
 
   ThreadObject* object() const { return t_; }

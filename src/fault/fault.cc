@@ -37,6 +37,9 @@ void Injector::Attach(sim::Kernel* kernel, net::Network* net, rpc::Transport* rp
       if (sink_ != nullptr) {
         sink_->OnNodeCrash(kernel_->Now(), node);
       }
+      if (node_handler_) {
+        node_handler_(kernel_->Now(), node, /*up=*/false);
+      }
     });
     if (e.restart_at >= 0) {
       kernel->Post(e.restart_at, [this, node = e.node] {
@@ -44,6 +47,9 @@ void Injector::Attach(sim::Kernel* kernel, net::Network* net, rpc::Transport* rp
         ++restarts_;
         if (sink_ != nullptr) {
           sink_->OnNodeRestart(kernel_->Now(), node);
+        }
+        if (node_handler_) {
+          node_handler_(kernel_->Now(), node, /*up=*/true);
         }
       });
     }

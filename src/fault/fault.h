@@ -19,14 +19,16 @@
 //     all frames to or from it are dropped at departure time, and frames
 //     already in flight when it crashes are discarded on arrival; memory
 //     and queued state survive a restart.
-//   * The Injector doubles as a perfect failure detector (NodeUp / LinkUp)
-//     for the runtime's forwarding-chain repair — the oracle the paper's
-//     single-machine assumptions never needed.
+//   * The Injector's NodeUp/Reachable view is *ground truth*, used by tests
+//     to grade the heartbeat/lease membership service (membership.h) —
+//     detection latency, false suspicions. The runtime's repair and recovery
+//     paths consult Membership::Suspects, never this oracle.
 
 #ifndef AMBER_SRC_FAULT_FAULT_H_
 #define AMBER_SRC_FAULT_FAULT_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -122,7 +124,15 @@ class Injector : public net::FaultFilter {
   // Attach().
   void SetSink(FaultSink* sink) { sink_ = sink; }
 
-  // --- Failure-detector oracle (runtime repair logic) ------------------------
+  // Node lifecycle hook: called in event context, after the kernel's node
+  // state has flipped, for every executed crash/restart plan event. Unlike
+  // the FaultSink (observability, optional) this drives *semantics*: the
+  // runtime uses it for membership bookkeeping and boot-time recovery of a
+  // restarted node's descriptor tables.
+  using NodeEventHandler = std::function<void(Time when, NodeId node, bool up)>;
+  void SetNodeEventHandler(NodeEventHandler handler) { node_handler_ = std::move(handler); }
+
+  // --- Failure-detector oracle (test ground truth) ---------------------------
 
   // Whether `node` is up right now (true before Attach()).
   bool NodeUp(NodeId node) const;
@@ -159,6 +169,7 @@ class Injector : public net::FaultFilter {
   bool attached_ = false;
   sim::Kernel* kernel_ = nullptr;  // set only by an *active* Attach()
   FaultSink* sink_ = nullptr;
+  NodeEventHandler node_handler_;
   int64_t drops_ = 0;
   int64_t duplicates_ = 0;
   int64_t delays_ = 0;

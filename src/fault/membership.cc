@@ -1,0 +1,96 @@
+#include "src/fault/membership.h"
+
+#include "src/base/panic.h"
+
+namespace fault {
+
+Membership::Membership(sim::Kernel* kernel, net::Network* net, MembershipConfig config)
+    : kernel_(kernel), net_(net), config_(config) {
+  AMBER_CHECK(config_.heartbeat_period > 0);
+  AMBER_CHECK(config_.lease_periods >= 1);
+  const int n = kernel_->nodes();
+  seq_.assign(n, 0);
+  last_heard_.assign(n, std::vector<Time>(n, 0));
+  suspected_.assign(n, std::vector<bool>(n, false));
+  tick_armed_.assign(n, false);
+}
+
+void Membership::Start() {
+  for (NodeId node = 0; node < kernel_->nodes(); ++node) {
+    ArmTick(node, config_.heartbeat_period);
+  }
+}
+
+bool Membership::Suspects(NodeId viewer, NodeId peer) const {
+  AMBER_CHECK(viewer >= 0 && viewer < kernel_->nodes());
+  AMBER_CHECK(peer >= 0 && peer < kernel_->nodes());
+  return suspected_[viewer][peer];
+}
+
+void Membership::OnNodeRestart(Time when, NodeId node) {
+  AMBER_CHECK(node >= 0 && node < kernel_->nodes());
+  for (NodeId peer = 0; peer < kernel_->nodes(); ++peer) {
+    last_heard_[node][peer] = when;  // fresh lease: don't suspect for time spent down
+    suspected_[node][peer] = false;
+  }
+  // If the whole cluster went quiet while this node was down, the tick
+  // chains stopped; restart them so the reboot is heard.
+  for (NodeId n = 0; n < kernel_->nodes(); ++n) {
+    if (!tick_armed_[n]) {
+      ArmTick(n, when + config_.heartbeat_period);
+    }
+  }
+}
+
+void Membership::ArmTick(NodeId node, Time at) {
+  tick_armed_[node] = true;
+  kernel_->Post(at, [this, node] { Tick(node); });
+}
+
+void Membership::Tick(NodeId node) {
+  if (!kernel_->AnyLiveFiberOnUpNode()) {
+    // Every runnable fiber is gone (or frozen on a dead node): stop ticking
+    // so the event queue can drain. A restart event re-arms via
+    // OnNodeRestart if frozen fibers come back to life.
+    tick_armed_[node] = false;
+    return;
+  }
+  const Time now = kernel_->Now();
+  if (kernel_->NodeUp(node)) {
+    ++seq_[node];
+    for (NodeId peer = 0; peer < kernel_->nodes(); ++peer) {
+      if (peer == node) {
+        continue;
+      }
+      ++heartbeats_sent_;
+      net_->Send(node, peer, config_.heartbeat_bytes, now, [this, node, peer] {
+        // Runs at `peer` on arrival (the network re-checks receiver
+        // liveness, so a frame landing on a crashed node never gets here).
+        last_heard_[peer][node] = kernel_->Now();
+        if (suspected_[peer][node]) {
+          suspected_[peer][node] = false;
+          if (on_trust_) {
+            on_trust_(kernel_->Now(), peer, node);
+          }
+        }
+      });
+    }
+    for (NodeId peer = 0; peer < kernel_->nodes(); ++peer) {
+      if (peer == node || suspected_[node][peer]) {
+        continue;
+      }
+      if (now - last_heard_[node][peer] > lease()) {
+        suspected_[node][peer] = true;
+        ++suspicions_;
+        if (on_suspect_) {
+          on_suspect_(now, node, peer);
+        }
+      }
+    }
+  }
+  // A down node keeps its (silent) tick chain alive so it resumes
+  // heartbeating right after a restart.
+  ArmTick(node, now + config_.heartbeat_period);
+}
+
+}  // namespace fault

@@ -1,0 +1,104 @@
+// Heartbeat/lease membership: failure detection without an oracle.
+//
+// Every node broadcasts a small sequence-numbered heartbeat datagram to every
+// other node once per heartbeat period, over the ordinary net::Network — so
+// heartbeats queue on the shared medium, are dropped by lossy link rules and
+// partitions, and die with a crashed sender exactly like application traffic.
+// Each node records, per peer, the virtual time it last heard a heartbeat;
+// when a node's own periodic scan finds a peer silent for longer than the
+// lease (lease_periods heartbeat periods), it declares the peer *suspected*
+// and fires the suspicion handler. Hearing a heartbeat from a suspected peer
+// clears the suspicion (trust handler). Suspicion is per-viewer: a
+// partitioned pair suspect each other while third parties still trust both.
+//
+// The runtime consults Suspects() everywhere it used to consult the fault
+// injector's perfect-failure-detector oracle (NodeUp / Reachable): the
+// forwarding-chain repair broadcast, move/replicate destination screening,
+// the transport's early give-up, and the crash-recovery election. The oracle
+// remains only as *ground truth* in tests, which grade this protocol: a node
+// unreachable from t0 is suspected no later than t0 + lease + 2 periods, and
+// the standard 5% loss plan produces zero false suspicions at the default
+// lease (membership_test.cc).
+//
+// Determinism: ticks fire at fixed virtual times in node order, heartbeat
+// frames take fault draws from the injector's single RNG like any other
+// frame, and all state changes happen in event context — the same
+// (plan, seed) yields the same suspicion history, byte for byte.
+
+#ifndef AMBER_SRC_FAULT_MEMBERSHIP_H_
+#define AMBER_SRC_FAULT_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/net/network.h"
+#include "src/sim/kernel.h"
+
+namespace fault {
+
+using amber::Duration;
+using amber::Time;
+using sim::NodeId;
+
+struct MembershipConfig {
+  Duration heartbeat_period = amber::Millis(5);
+  int lease_periods = 4;        // suspect after this many silent periods
+  int64_t heartbeat_bytes = 40; // seqno + sender id + protocol framing
+};
+
+class Membership {
+ public:
+  // (when, viewer, peer): `viewer` changed its opinion of `peer`.
+  using Handler = std::function<void(Time when, NodeId viewer, NodeId peer)>;
+
+  Membership(sim::Kernel* kernel, net::Network* net, MembershipConfig config = {});
+
+  Membership(const Membership&) = delete;
+  Membership& operator=(const Membership&) = delete;
+
+  // Arms every node's heartbeat tick. Call once, before Kernel::Run().
+  void Start();
+
+  // Whether `viewer` currently suspects `peer` of having failed. A node
+  // never suspects itself.
+  bool Suspects(NodeId viewer, NodeId peer) const;
+
+  // Boot-time reset for a restarted node: it re-enters the group with a
+  // fresh lease on every peer and no suspicions (its pre-crash view is
+  // stale), and any tick chain that wound down while the cluster was idle
+  // is re-armed. Peers clear their suspicion of the restarted node only
+  // when they actually hear its next heartbeat — no oracle shortcut.
+  void OnNodeRestart(Time when, NodeId node);
+
+  void SetSuspicionHandler(Handler h) { on_suspect_ = std::move(h); }
+  void SetTrustHandler(Handler h) { on_trust_ = std::move(h); }
+
+  // The silence window after which a peer is suspected.
+  Duration lease() const { return config_.heartbeat_period * config_.lease_periods; }
+  const MembershipConfig& config() const { return config_; }
+
+  int64_t heartbeats_sent() const { return heartbeats_sent_; }
+  int64_t suspicions() const { return suspicions_; }
+
+ private:
+  void ArmTick(NodeId node, Time at);
+  void Tick(NodeId node);
+
+  sim::Kernel* kernel_;
+  net::Network* net_;
+  MembershipConfig config_;
+  std::vector<uint64_t> seq_;                // per-sender heartbeat seqno
+  std::vector<std::vector<Time>> last_heard_; // [viewer][peer]
+  std::vector<std::vector<bool>> suspected_;  // [viewer][peer]
+  std::vector<bool> tick_armed_;
+  Handler on_suspect_;
+  Handler on_trust_;
+  int64_t heartbeats_sent_ = 0;
+  int64_t suspicions_ = 0;
+};
+
+}  // namespace fault
+
+#endif  // AMBER_SRC_FAULT_MEMBERSHIP_H_

@@ -66,7 +66,12 @@ class DescriptorTable {
     map_[obj] = {Residency::kRemoteHint, to};
   }
 
-  void SetReplica(const void* obj) { map_[obj] = {Residency::kReplica, kNoNode}; }
+  // A replica also remembers where its bytes came from — a hint toward the
+  // primary copy, so location queries made while standing on a replica can
+  // still make progress (the hint may be stale, like any forwarding entry).
+  void SetReplica(const void* obj, NodeId primary_hint = kNoNode) {
+    map_[obj] = {Residency::kReplica, primary_hint};
+  }
 
   // Object deleted on this node: drop local knowledge. Stale entries on
   // other nodes are tolerated by the heap's no-split rule (§3.2).

@@ -34,6 +34,7 @@ enum ObjectFlags : uint32_t {
   kObjMember = 1u << 1,     // member object: co-resident with its primary (§3.6)
   kObjStackLocal = 1u << 2, // stack/auto object: co-resident with its thread (§3.6)
   kObjThread = 1u << 3,     // thread object: co-resident with its fiber (§3.4)
+  kObjRecoverable = 1u << 4, // opt-in checkpoint/restore crash recovery (docs/FAULTS.md)
 };
 
 struct ObjectHeader {
@@ -59,6 +60,7 @@ struct ObjectHeader {
   bool IsMember() const { return (flags & kObjMember) != 0; }
   bool IsStackLocal() const { return (flags & kObjStackLocal) != 0; }
   bool IsThread() const { return (flags & kObjThread) != 0; }
+  bool IsRecoverable() const { return (flags & kObjRecoverable) != 0; }
 };
 
 }  // namespace amber

@@ -105,6 +105,13 @@ void Profiler::CloseBlocked(ThreadState& st, ThreadId tid, Time when, NodeId nod
     other = waker;
     wt = wake_time;
   }
+  // Inside a recovery episode every rpc/net wait is the recovery's cost —
+  // the probes and restores themselves — not ordinary service time. The
+  // marker bookkeeping above still ran, so nothing is left stale.
+  if (st.in_recovery && (cause == Cause::kRpc || cause == Cause::kNet)) {
+    cause = Cause::kRecovery;
+    aux = 0;
+  }
   CloseSegment(st, when, SegKind::kBlocked, cause, node, aux, other, wt);
 }
 
@@ -323,6 +330,21 @@ void Profiler::OnFailureBackoff(Time when, NodeId node, ThreadId thread, Duratio
   st.pending_backoff = true;
 }
 
+void Profiler::OnRecoveryStart(Time when, NodeId node, ThreadId thread, const void* obj) {
+  (void)node;
+  (void)obj;
+  last_time_ = std::max(last_time_, when);
+  Ensure(thread, when).in_recovery = true;
+}
+
+void Profiler::OnRecoveryEnd(Time when, NodeId node, ThreadId thread, const void* obj, bool ok) {
+  (void)node;
+  (void)obj;
+  (void)ok;
+  last_time_ = std::max(last_time_, when);
+  Ensure(thread, when).in_recovery = false;
+}
+
 void Profiler::OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst, int64_t bytes) {
   (void)src;
   (void)bytes;
@@ -502,6 +524,9 @@ ProfileReport Profiler::Finalize() {
             break;
           case Cause::kFault:
             attribute("fault", seg.start);
+            break;
+          case Cause::kRecovery:
+            attribute("recovery", seg.start);
             break;
           case Cause::kRpc:
             attribute(NodeCat("rpc.node", seg.aux), seg.start);

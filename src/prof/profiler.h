@@ -25,6 +25,8 @@
 //   rpc.net           waiting on the wire (messages, unpaired waits)
 //   migration         thread in migration transit
 //   fault             retry backoff / fault-induced waiting
+//   recovery          crash-recovery episodes: replica re-bind probes and
+//                     checkpoint restores (OnRecoveryStart/End brackets)
 //
 // The placement advisor aggregates per-object invocation flow (who calls
 // each object from where, and how much entry/exit overhead — residency
@@ -152,6 +154,8 @@ class Profiler : public amber::RuntimeObserver {
   void OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts,
                     ThreadId requester) override;
   void OnFailureBackoff(Time when, NodeId node, ThreadId thread, Duration backoff) override;
+  void OnRecoveryStart(Time when, NodeId node, ThreadId thread, const void* obj) override;
+  void OnRecoveryEnd(Time when, NodeId node, ThreadId thread, const void* obj, bool ok) override;
 
   void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst, int64_t bytes) override;
   void OnMessage(Time depart, Time arrive, NodeId src, NodeId dst, int64_t bytes) override;
@@ -167,7 +171,17 @@ class Profiler : public amber::RuntimeObserver {
 
  private:
   enum class SegKind : uint8_t { kQueued, kRunning, kBlocked };
-  enum class Cause : uint8_t { kNone, kLock, kRpc, kJoin, kMigration, kFault, kWake, kNet };
+  enum class Cause : uint8_t {
+    kNone,
+    kLock,
+    kRpc,
+    kJoin,
+    kMigration,
+    kFault,
+    kWake,
+    kNet,
+    kRecovery,
+  };
 
   struct Segment {
     Time start = 0;
@@ -199,6 +213,9 @@ class Profiler : public amber::RuntimeObserver {
     ThreadId pending_join = 0;
     bool pending_migrate = false;
     bool pending_backoff = false;
+    // Level-triggered (not one-shot like the others): every block between
+    // OnRecoveryStart and OnRecoveryEnd belongs to the recovery episode.
+    bool in_recovery = false;
     bool rpc_armed = false;
     bool rpc_replied = false;
     NodeId rpc_dst = 0;

@@ -32,6 +32,28 @@ struct RtState {
 
 }  // namespace
 
+Duration Transport::WorstCaseRetryWindow() const {
+  Duration w = 0;
+  for (int k = 0; k < retry_.max_attempts; ++k) {
+    w += retry_.AttemptTimeout(k);
+  }
+  return w;
+}
+
+void Transport::EvictExpiredReplies(Time now) {
+  // Lazy sweep (run on each insert): an entry older than the worst-case
+  // retry window belongs to a requester that long since gave up; no
+  // duplicate of its request can still arrive.
+  const Duration window = WorstCaseRetryWindow();
+  for (auto it = reply_cache_.begin(); it != reply_cache_.end();) {
+    if (now - it->second.cached_at > window) {
+      it = reply_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 Time Transport::ChargeSendPath(int64_t payload_bytes) {
   sim::Fiber* f = kernel_->current();
   AMBER_CHECK(f != nullptr) << "RPC send outside fiber context";
@@ -116,6 +138,12 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
       st->service_ran = true;
       const Time served = kernel_->Now();
       st->reply_bytes = service();
+      // Cache the reply for duplicate suppression — bounded: the entry dies
+      // when the requester completes (ack piggybacked on its next frame,
+      // wire cost below the model's resolution) or, if the requester is
+      // gone, after the retry budget's worst-case window.
+      EvictExpiredReplies(kernel_->Now());
+      reply_cache_[id] = CachedReply{st->reply_bytes, kernel_->Now()};
       const Time reply_depart = kernel_->Now() + kernel_->cost().MarshalCost(st->reply_bytes);
       const net::TxResult tx = net_->SendTracked(dst, src, st->reply_bytes, reply_depart, on_reply);
       if (observer_ != nullptr) {
@@ -126,12 +154,21 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
       if (observer_ != nullptr) {
         observer_->OnRpcDuplicateSuppressed(kernel_->Now(), dst, id);
       }
-      // Cached reply: already marshalled, so it departs immediately.
-      net_->SendTracked(dst, src, st->reply_bytes, kernel_->Now(), on_reply);
+      auto cached = reply_cache_.find(id);
+      if (cached != reply_cache_.end()) {
+        // Cached reply: already marshalled, so it departs immediately.
+        net_->SendTracked(dst, src, cached->second.bytes, kernel_->Now(), on_reply);
+      }
+      // else: the requester already acked and the entry was evicted — a
+      // straggler duplicate needs no reply.
     }
   };
 
+  int sent = 0;
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (suspects_ && suspects_(src, dst)) {
+      break;  // membership declared dst failed: stop burning the budget
+    }
     Time depart;
     if (attempt == 0) {
       depart = ChargeSendPath(request_bytes);
@@ -153,6 +190,7 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
     // calls is atomic, so arming waiting/epoch now is safe.
     st->waiting = true;
     st->epoch = attempt;
+    sent = attempt + 1;
     net_->SendTracked(src, dst, request_bytes, depart, on_request);
     const Duration timeout = retry_.AttemptTimeout(attempt);
     kernel_->Post(depart + timeout, [this, st, attempt] {
@@ -165,15 +203,24 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
     });
     kernel_->Block();
     if (st->reply_arrived) {
+      // Completion doubles as the ack: the receiver drops its cached reply
+      // (no duplicate that still arrives will need it re-sent).
+      reply_cache_.erase(id);
       return RoundtripResult{SendStatus::kOk, kernel_->Now(), attempt + 1};
     }
   }
-  ++timeouts_;
   st->cancelled = true;
-  if (observer_ != nullptr) {
-    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts, f->id);
+  reply_cache_.erase(id);
+  if (sent == 0) {
+    // Suspected before the first transmission: nothing left the node, no
+    // timers ran — report the typed failure without stats or events.
+    return RoundtripResult{SendStatus::kTimeout, kernel_->Now(), 0};
   }
-  return RoundtripResult{SendStatus::kTimeout, kernel_->Now(), retry_.max_attempts};
+  ++timeouts_;
+  if (observer_ != nullptr) {
+    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, sent, f->id);
+  }
+  return RoundtripResult{SendStatus::kTimeout, kernel_->Now(), sent};
 }
 
 TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
@@ -189,7 +236,11 @@ TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
   }
   ++travels_;
   const uint64_t id = next_rpc_id_++;
+  int sent = 0;
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (suspects_ && suspects_(src, dst)) {
+      break;  // membership declared dst failed: stop burning the budget
+    }
     Time depart;
     if (attempt == 0) {
       depart = ChargeSendPath(payload_bytes);
@@ -205,6 +256,7 @@ TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
     // The simulator's oracle view of delivery stands in for the migration
     // protocol's arrival ack: a lost carrier frame surfaces as an ack
     // timeout at the source, which still holds the thread and retransmits.
+    sent = attempt + 1;
     const net::TxResult tx = net_->SendTracked(src, dst, payload_bytes, depart, nullptr);
     if (tx.delivered) {
       kernel_->TravelTo(dst, tx.arrival);
@@ -214,11 +266,14 @@ TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
     kernel_->Post(depart + timeout, [this, f] { kernel_->Wake(f, kernel_->Now()); });
     kernel_->Block();
   }
+  if (sent == 0) {
+    return TravelResult{SendStatus::kTimeout, 0};  // suspected before any send
+  }
   ++timeouts_;
   if (observer_ != nullptr) {
-    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, retry_.max_attempts, f->id);
+    observer_->OnRpcTimeout(kernel_->Now(), src, dst, id, sent, f->id);
   }
-  return TravelResult{SendStatus::kTimeout, retry_.max_attempts};
+  return TravelResult{SendStatus::kTimeout, sent};
 }
 
 Time Transport::SendBulk(NodeId dst, int64_t payload_bytes, std::function<void()> deliver) {

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "src/net/network.h"
 #include "src/sim/kernel.h"
@@ -148,6 +149,20 @@ class Transport {
   void SetRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
   const RetryPolicy& retry_policy() const { return retry_; }
 
+  // Failure-detector consult: `suspects(src, dst)` true means src's
+  // membership view has declared dst failed, and reliable operations give
+  // up immediately (typed kTimeout) instead of burning the whole retry
+  // budget against a node the protocol already knows is gone. Fed by
+  // fault::Membership (lease expiry), never by the injector oracle. Unset
+  // (the default) every attempt is made — exactly the pre-membership model.
+  void SetSuspicionOracle(std::function<bool(NodeId, NodeId)> suspects) {
+    suspects_ = std::move(suspects);
+  }
+
+  // Receiver-side duplicate-suppression entries currently cached (bounded:
+  // O(in-flight roundtrips), see RoundtripReliable).
+  size_t reply_cache_size() const { return reply_cache_.size(); }
+
   // --- Statistics --------------------------------------------------------------
   int64_t roundtrips() const { return roundtrips_; }
   int64_t travels() const { return travels_; }
@@ -156,6 +171,13 @@ class Transport {
   int64_t duplicates_suppressed() const { return dups_suppressed_; }
 
  private:
+  // One cached reply on the receiver side, kept only until the requester
+  // acks (completion) or the retry budget's worst-case window has passed.
+  struct CachedReply {
+    int64_t bytes = 0;
+    Time cached_at = 0;
+  };
+
   // Charges marshal + protocol-send CPU to the current fiber and returns its
   // post-charge virtual time (the earliest wire departure).
   Time ChargeSendPath(int64_t payload_bytes);
@@ -163,10 +185,17 @@ class Transport {
   RoundtripResult RoundtripReliable(NodeId dst, int64_t request_bytes,
                                     std::function<int64_t()> service);
 
+  // After this window no duplicate of a request can still be in flight
+  // (every attempt's timeout has expired and the requester has given up).
+  Duration WorstCaseRetryWindow() const;
+  void EvictExpiredReplies(Time now);
+
   sim::Kernel* kernel_;
   net::Network* net_;
   TransportObserver* observer_ = nullptr;
   RetryPolicy retry_;
+  std::function<bool(NodeId, NodeId)> suspects_;
+  std::unordered_map<uint64_t, CachedReply> reply_cache_;
   bool reliable_ = false;
   int64_t roundtrips_ = 0;
   int64_t travels_ = 0;

@@ -381,6 +381,15 @@ Time Kernel::Run() {
   return queue_.now();
 }
 
+bool Kernel::AnyLiveFiberOnUpNode() const {
+  for (const auto& f : fibers_) {
+    if (f->state != FiberState::kFinished && nodes_[f->node].up) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Duration Kernel::NodeBusyTime(NodeId node) const {
   AMBER_CHECK(node >= 0 && node < nodes());
   return nodes_[node].busy_ns;

@@ -179,6 +179,13 @@ class Kernel {
   // Fibers spawned but not finished. Nonzero after Run() means deadlock.
   int live_fibers() const { return live_fibers_; }
 
+  // True while any unfinished fiber sits on an up node. Background services
+  // (the membership heartbeat ticks) use this to decide whether the
+  // simulation still has work that could need them: fibers frozen on
+  // crashed nodes do not count — with every up node idle they can only run
+  // again through a restart event that is already in the queue.
+  bool AnyLiveFiberOnUpNode() const;
+
   // --- Statistics ------------------------------------------------------------
 
   // Total processor-busy virtual time on a node (for utilization reports).

@@ -13,6 +13,7 @@
 
 #include "src/base/rng.h"
 #include "src/core/amber.h"
+#include "src/fault/fault.h"
 
 namespace amber {
 namespace {
@@ -154,6 +155,51 @@ TEST_P(MobilityFuzz, RandomOpsPreserveInvariants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MobilityFuzz,
                          ::testing::Values(0x1uLL, 0x2uLL, 0x3uLL, 0xDEADBEEFuLL, 0xA5A5A5uLL,
                                            0x123456789uLL, 0x42uLL, 0x777uLL));
+
+// Chaos variant: the same fuzz schedule under the standard lossy plan (5%
+// drop, 2% duplication, 5% delay on every link) plus one mid-run node
+// crash/restart. The run must neither hang nor trip an invariant: lost
+// frames are retransmitted, unreachable objects go through the kRetry
+// failure handler, and threads frozen on the crashed node resume at the
+// restart — with every counter update intact.
+class MobilityChaosFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MobilityChaosFuzz, RandomOpsSurviveLossAndCrash) {
+  Runtime::Config config;
+  config.nodes = 6;
+  config.procs_per_node = 2;
+  config.arena_bytes = size_t{256} << 20;
+  Runtime rt(config);
+  fault::FaultPlan plan;
+  plan.seed = GetParam();
+  fault::LinkRule rule;
+  rule.drop = 0.05;
+  rule.duplicate = 0.02;
+  rule.delay = 0.05;
+  rule.delay_min = Micros(100);
+  rule.delay_max = Millis(1);
+  plan.links.push_back(rule);
+  fault::NodeEvent ev;
+  ev.node = 2;
+  ev.crash_at = Millis(5);  // lands mid-schedule: retries stretch the run
+  ev.restart_at = Millis(25);
+  plan.node_events.push_back(ev);
+  fault::Injector injector(plan);
+  rt.SetFaultInjector(&injector);
+  rt.SetFailureHandler([](const FailureEvent&) { return FailureAction::kRetry; });
+  rt.Run([&] {
+    auto fuzzer = New<Fuzzer>();
+    auto stats = fuzzer.Call(&Fuzzer::Run, GetParam(), 400, 12);
+    EXPECT_GT(stats.calls, 50);
+    EXPECT_GT(stats.moves, 10);
+  });
+  EXPECT_GT(injector.drops(), 0) << "the lossy plan never bit";
+  EXPECT_EQ(injector.crashes(), 1) << "the run ended before the crash landed";
+  EXPECT_EQ(injector.restarts(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSeeds, MobilityChaosFuzz,
+                         ::testing::Values(0x11uLL, 0xC0FFEEuLL, 0x5EEDuLL));
 
 // Concurrent variant: several threads fuzz disjoint object sets while a
 // mover shuffles a shared set — exercises bound-thread chasing under load.

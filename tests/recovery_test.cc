@@ -1,0 +1,206 @@
+// Tests for crash recovery and planned shutdown: immutable objects re-bind
+// to a surviving replica (deterministic lowest-live-node election), mutable
+// objects opted in with amber::SetRecoverable restore their last buddy
+// checkpoint (the documented staleness contract: work since the checkpoint
+// is lost), lost threads surface through TryJoin instead of hanging, and
+// DrainNode evacuates a node's residents — attach groups intact.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/amber.h"
+#include "src/fault/fault.h"
+#include "src/metrics/metrics.h"
+
+namespace amber {
+namespace {
+
+Runtime::Config TestConfig(int nodes = 4, int procs = 2) {
+  Runtime::Config c;
+  c.nodes = nodes;
+  c.procs_per_node = procs;
+  c.arena_bytes = size_t{256} << 20;
+  c.initial_regions_per_node = 4;
+  return c;
+}
+
+class Counter : public Object {
+ public:
+  int Add(int d) {
+    Work(kMicrosecond * 20);
+    value_ += d;
+    return value_;
+  }
+  int Get() const { return value_; }
+  int Spin() {
+    Work(Millis(30));
+    return 1;
+  }
+
+ private:
+  int value_ = 0;
+};
+
+// Records recovery and drain events published on the observer bus.
+struct RecoveryLog : RuntimeObserver {
+  struct Recovered {
+    const void* obj;
+    NodeId from;
+    NodeId to;
+    bool from_checkpoint;
+  };
+  struct Drained {
+    NodeId node;
+    int moved;
+  };
+  std::vector<Recovered> recovered;
+  std::vector<Drained> drained;
+
+  void OnObjectRecovered(Time /*when*/, const void* obj, NodeId from, NodeId to,
+                         bool from_checkpoint) override {
+    recovered.push_back({obj, from, to, from_checkpoint});
+  }
+  void OnNodeDrained(Time /*when*/, NodeId node, int objects_moved) override {
+    drained.push_back({node, objects_moved});
+  }
+};
+
+fault::FaultPlan CrashPlan(NodeId node, Time crash_at, Time restart_at = -1) {
+  fault::FaultPlan plan;
+  fault::NodeEvent ev;
+  ev.node = node;
+  ev.crash_at = crash_at;
+  ev.restart_at = restart_at;
+  plan.node_events.push_back(ev);
+  return plan;
+}
+
+TEST(RecoveryTest, ImmutableHomeCrashRebindsToLowestLiveReplica) {
+  Runtime rt(TestConfig());
+  fault::Injector injector(CrashPlan(/*node=*/3, /*crash_at=*/Millis(35)));
+  metrics::Registry metrics;
+  RecoveryLog log;
+  rt.SetMetrics(&metrics);
+  rt.AddObserver(&log);
+  rt.SetFaultInjector(&injector);
+  rt.SetFailureHandler([](const FailureEvent&) { return FailureAction::kRecover; });
+  rt.Run([&] {
+    // A root-level Call leaves this thread at the callee's node (its thread
+    // object travels with it), so keep an anchor on node 0 to hop home
+    // before the crash lands — the crash must not take the driver with it.
+    auto anchor = New<Counter>();
+    auto c = NewOn<Counter>(3);            // homed on the node about to die
+    c.Call(&Counter::Add, 7);              // driver is now on node 3
+    MakeImmutable(c);
+    ASSERT_EQ(MoveTo(c, 1), Status::kOk);  // replica on a survivor
+    anchor.Call(&Counter::Get);            // driver back on node 0
+    Work(Millis(100));                     // crash lands, suspicion matures
+    // The home is dead; invocation transparently re-binds to the surviving
+    // replica — the lowest live holder becomes the new home.
+    EXPECT_EQ(c.Call(&Counter::Get), 7);
+    EXPECT_EQ(Locate(c), 1);
+    rt.ValidateLocationInvariants();
+  });
+  ASSERT_EQ(log.recovered.size(), 1u);
+  EXPECT_EQ(log.recovered[0].from, 3);
+  EXPECT_EQ(log.recovered[0].to, 1);
+  EXPECT_FALSE(log.recovered[0].from_checkpoint);
+  EXPECT_EQ(metrics.CounterTotal("recovery.rebinds"), 1);
+  EXPECT_EQ(metrics.CounterTotal("recovery.restores"), 0);
+}
+
+TEST(RecoveryTest, CheckpointRestoreHonorsStalenessContract) {
+  Runtime rt(TestConfig());
+  fault::Injector injector(CrashPlan(/*node=*/2, /*crash_at=*/Millis(45)));
+  metrics::Registry metrics;
+  RecoveryLog log;
+  rt.SetMetrics(&metrics);
+  rt.AddObserver(&log);
+  rt.SetFaultInjector(&injector);
+  rt.SetFailureHandler([](const FailureEvent&) { return FailureAction::kRecover; });
+  rt.Run([&] {
+    auto anchor = New<Counter>();          // the driver's way home (node 0)
+    auto c = New<Counter>();
+    SetRecoverable(c);
+    ASSERT_EQ(MoveTo(c, 2), Status::kOk);  // successful move re-checkpoints
+    c.Call(&Counter::Add, 5);              // driver is now on node 2
+    ASSERT_TRUE(Checkpoint(c));  // value 5 committed to the buddy
+    c.Call(&Counter::Add, 3);    // applied in memory, never checkpointed
+    anchor.Call(&Counter::Get);  // driver back on node 0, clear of the blast
+    Work(Millis(110));           // node 2 dies; suspicion matures
+    // The staleness contract: recovery restores the *last checkpoint* — the
+    // un-checkpointed +3 is lost and the application re-runs from 5.
+    EXPECT_EQ(c.Call(&Counter::Get), 5);
+    EXPECT_EQ(Locate(c), 0);  // restored on the buddy (lowest live != 2)
+    EXPECT_EQ(c.Call(&Counter::Add, 2), 7);  // usable after recovery
+    rt.ValidateLocationInvariants();
+  });
+  ASSERT_EQ(log.recovered.size(), 1u);
+  EXPECT_EQ(log.recovered[0].from, 2);
+  EXPECT_EQ(log.recovered[0].to, 0);
+  EXPECT_TRUE(log.recovered[0].from_checkpoint);
+  EXPECT_EQ(metrics.CounterTotal("recovery.restores"), 1);
+  // SetRecoverable, the move, and the explicit call each took a checkpoint.
+  EXPECT_GE(metrics.CounterTotal("recovery.checkpoints"), 3);
+}
+
+TEST(RecoveryTest, LostThreadSurfacesThroughTryJoinAndFinishesAfterRestart) {
+  Runtime rt(TestConfig());
+  fault::Injector injector(CrashPlan(/*node=*/2, /*crash_at=*/Millis(10),
+                                     /*restart_at=*/Millis(60)));
+  rt.SetFaultInjector(&injector);
+  rt.SetFailureHandler([](const FailureEvent&) { return FailureAction::kRetry; });
+  rt.Run([&] {
+    auto c = New<Counter>();
+    ASSERT_EQ(MoveTo(c, 2), Status::kOk);
+    auto w = StartThread(c, &Counter::Spin);  // freezes mid-Work at the crash
+    Work(Millis(5));
+    bool saw_lost = false;
+    while (!w.TryJoin()) {  // false once node 2's lease expires
+      saw_lost = true;
+      EXPECT_TRUE(w.object()->lost());
+      Work(Millis(5));
+    }
+    EXPECT_TRUE(saw_lost);
+    EXPECT_EQ(w.result(), 1);  // the thread finished after the restart
+    EXPECT_GT(Now(), Millis(60));
+  });
+}
+
+TEST(RecoveryTest, DrainNodeEvacuatesResidentsAndAttachGroups) {
+  Runtime rt(TestConfig());  // fault-free: drain is a planned operation
+  RecoveryLog log;
+  rt.AddObserver(&log);
+  rt.Run([&] {
+    auto m = New<Counter>();
+    ASSERT_EQ(MoveTo(m, 1), Status::kOk);
+    m.Call(&Counter::Add, 4);
+    auto parent = New<Counter>();
+    ASSERT_EQ(MoveTo(parent, 1), Status::kOk);
+    auto child = New<Counter>();
+    Attach(child, parent);
+    auto imm = New<Counter>();
+    imm.Call(&Counter::Add, 9);
+    ASSERT_EQ(MoveTo(imm, 1), Status::kOk);
+    MakeImmutable(imm);
+
+    const int moved = DrainNode(1);
+    EXPECT_GE(moved, 3);  // m, the attach group, imm
+
+    EXPECT_NE(Locate(m), 1);
+    EXPECT_NE(Locate(parent), 1);
+    EXPECT_NE(Locate(imm), 1);
+    EXPECT_EQ(Locate(child), Locate(parent));  // the group moved as a unit
+    EXPECT_EQ(m.Call(&Counter::Get), 4);
+    EXPECT_EQ(imm.Call(&Counter::Get), 9);
+    rt.ValidateLocationInvariants();
+
+    ASSERT_EQ(log.drained.size(), 1u);
+    EXPECT_EQ(log.drained[0].node, 1);
+    EXPECT_EQ(log.drained[0].moved, moved);
+  });
+}
+
+}  // namespace
+}  // namespace amber

@@ -275,6 +275,64 @@ TEST(RpcRetryTest, RequestInFlightWhenReceiverCrashesIsNotServed) {
   EXPECT_EQ(h.rpc().timeouts(), 1);
 }
 
+TEST(RpcRetryTest, ReplyCacheStaysBoundedByInFlightRequests) {
+  RetryHarness h;
+  // Lossless run with concurrent requesters: the duplicate-suppression
+  // cache must hold at most one entry per in-flight roundtrip (an entry is
+  // born when the service runs and dies when the requester completes), and
+  // must be empty once everything quiesced — not grow with request count.
+  constexpr int kRequesters = 6;
+  constexpr int kRoundsEach = 20;
+  int completed = 0;
+  for (int r = 0; r < kRequesters; ++r) {
+    h.Go(r % 2, [&h, &completed, r] {
+      for (int i = 0; i < kRoundsEach; ++i) {
+        RoundtripResult rr = h.rpc().Roundtrip(2 + (r % 2), 100, []() -> int64_t { return 64; });
+        ASSERT_EQ(rr.status, SendStatus::kOk);
+        // O(in-flight): never more entries than concurrent requesters.
+        ASSERT_LE(h.rpc().reply_cache_size(), static_cast<size_t>(kRequesters));
+        ++completed;
+      }
+    });
+  }
+  h.k().Run();
+  EXPECT_EQ(completed, kRequesters * kRoundsEach);
+  EXPECT_EQ(h.rpc().reply_cache_size(), 0u);  // every completion acked its entry
+}
+
+TEST(RpcRetryTest, OrphanedReplyIsEvictedAfterWorstCaseRetryWindow) {
+  RetryHarness h;
+  // Pass-through filter: arms the arrival-time liveness re-check.
+  ScriptedFilter filter([](int, sim::NodeId, sim::NodeId) { return false; });
+  h.net().SetFaultFilter(&filter);
+  RetryPolicy policy;
+  policy.timeout = Millis(2);
+  policy.timeout_cap = Millis(4);
+  policy.max_attempts = 3;  // worst-case window: 2 + 4 + 4 = 10 ms
+  h.rpc().SetRetryPolicy(policy);
+  // Requester on node 0 calls node 2; the service runs (entry cached), then
+  // node 0 dies with the reply in flight. The requester can never ack or
+  // give up — without the window eviction its entry would live forever.
+  h.k().Post(Micros(250), [&] { h.k().SetNodeUp(0, false); });
+  h.Go(0, [&] { h.rpc().Roundtrip(2, 100, []() -> int64_t { return 100; }); });
+  int64_t orphans_seen = -1;
+  bool second_done = false;
+  // Well past the retry window the orphan is still cached (eviction is
+  // lazy); the next service insertion sweeps it out.
+  h.k().Post(Millis(30), [&] {
+    orphans_seen = static_cast<int64_t>(h.rpc().reply_cache_size());
+    h.Go(1, [&] {
+      RoundtripResult rr = h.rpc().Roundtrip(2, 64, []() -> int64_t { return 32; });
+      EXPECT_EQ(rr.status, SendStatus::kOk);
+      second_done = true;
+    });
+  });
+  h.k().Run();
+  EXPECT_EQ(orphans_seen, 1);
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(h.rpc().reply_cache_size(), 0u);  // orphan swept, new entry acked
+}
+
 TEST(RpcRetryTest, ReliabilityOffIsLosslessFastPath) {
   RetryHarness h;
   h.rpc().EnableReliability(false);
