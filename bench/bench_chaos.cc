@@ -29,6 +29,7 @@
 #include "src/apps/sor/sor.h"
 #include "src/core/amber.h"
 #include "src/fault/fault.h"
+#include "src/fdr/fdr.h"
 #include "src/metrics/metrics.h"
 #include "src/prof/profiler.h"
 
@@ -141,7 +142,8 @@ struct RecoveryResult {
 // driver itself never migrates to the strip — on-strip reads go through
 // worker threads reaped with TryJoin — so it cannot freeze with the victim.
 RecoveryResult RunRecovery(const fault::FaultPlan& plan, metrics::Registry* registry,
-                           fault::Injector* injector, prof::Profiler* profiler) {
+                           fault::Injector* injector, prof::Profiler* profiler,
+                           fdr::Recorder* recorder = nullptr) {
   amber::Runtime::Config config;
   config.nodes = kNodes;
   config.procs_per_node = kProcs;
@@ -151,6 +153,9 @@ RecoveryResult RunRecovery(const fault::FaultPlan& plan, metrics::Registry* regi
   }
   if (profiler != nullptr) {
     rt.AddObserver(profiler);
+  }
+  if (recorder != nullptr) {
+    recorder->AttachTo(rt);
   }
   if (injector != nullptr) {
     rt.SetFaultInjector(injector);
@@ -219,7 +224,7 @@ fault::FaultPlan RecoveryPlan(amber::Time clean_end) {
 
 sor::Result RunOnce(const sor::Params& params, const fault::FaultPlan& plan,
                     metrics::Registry* registry, fault::Injector* injector,
-                    prof::Profiler* profiler = nullptr) {
+                    prof::Profiler* profiler = nullptr, fdr::Recorder* recorder = nullptr) {
   amber::Runtime::Config config;
   config.nodes = kNodes;
   config.procs_per_node = kProcs;
@@ -230,6 +235,9 @@ sor::Result RunOnce(const sor::Params& params, const fault::FaultPlan& plan,
   }
   if (profiler != nullptr) {
     rt.AddObserver(profiler);
+  }
+  if (recorder != nullptr) {
+    recorder->AttachTo(rt);
   }
   if (injector != nullptr) {
     rt.SetFaultInjector(injector);
@@ -254,7 +262,11 @@ int main() {
   metrics::Registry registry;
   fault::Injector injector(plan);
   prof::Profiler profiler;
-  const sor::Result chaos = RunOnce(params, plan, &registry, &injector, &profiler);
+  // Flight recorder rides along as an observer-only tap: if either scenario
+  // diverges from its clean run, the black box is flushed before exiting
+  // nonzero so the failure can be post-mortemed with amber-fdr.
+  fdr::Recorder recorder({.name = "chaos"});
+  const sor::Result chaos = RunOnce(params, plan, &registry, &injector, &profiler, &recorder);
 
   const double slowdown =
       static_cast<double>(chaos.solve_time) / static_cast<double>(clean.solve_time);
@@ -286,7 +298,9 @@ int main() {
   const fault::FaultPlan rec_plan = RecoveryPlan(rec_clean.end_time);
   fault::Injector rec_injector(rec_plan);
   prof::Profiler rec_profiler;
-  const RecoveryResult rec = RunRecovery(rec_plan, &registry, &rec_injector, &rec_profiler);
+  fdr::Recorder rec_recorder({.name = "chaos_recovery"});
+  const RecoveryResult rec =
+      RunRecovery(rec_plan, &registry, &rec_injector, &rec_profiler, &rec_recorder);
   std::printf("crash strip run: %.2f ms (virtual), node %d dead from %.2f ms; %s\n",
               amber::ToMillis(rec.end_time), int{kVictim},
               amber::ToMillis(rec_plan.node_events[0].crash_at),
@@ -342,12 +356,23 @@ int main() {
                         static_cast<double>(rec_report.total_ns)
                   : 0.0);
 
+  // Divergence from the clean run is exactly the situation the black box
+  // exists for: flush the final window before exiting nonzero so CI can
+  // archive it and `amber-fdr` can explain what the run was doing.
+  auto dump_divergence = [](fdr::Recorder& rec_box, const std::string& detail) {
+    const std::string path = "FDR_" + rec_box.name() + ".json";
+    std::ofstream out(path);
+    rec_box.WriteDump(out, "divergence", detail);
+    std::printf("wrote %s — inspect with: amber-fdr %s\n", path.c_str(), path.c_str());
+  };
   if (injector.drops() == 0 || chaos.grid_hash != clean.grid_hash) {
     std::printf("chaos bench FAILED: no faults injected or wrong answer\n");
+    dump_divergence(recorder, "chaos grid hash diverged from clean run");
     return 1;
   }
   if (rec_injector.crashes() == 0 || !rec.completed || rec.hash != rec_clean.hash) {
     std::printf("recovery scenario FAILED: no crash injected or wrong answer\n");
+    dump_divergence(rec_recorder, "recovery strip hash diverged from clean run");
     return 1;
   }
   return 0;

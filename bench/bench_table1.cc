@@ -136,6 +136,7 @@ int main() {
   double remote_ms = 0;
   double move_ms = 0;
   double thread_ms = 0;
+  Time end_time = 0;
   rt.Run([&] {
     auto bench = New<Bench>();
     create_ms = bench.Call(&Bench::MeasureCreate, kTrials);
@@ -143,6 +144,7 @@ int main() {
     remote_ms = bench.Call(&Bench::MeasureRemoteInvoke, kTrials);
     move_ms = bench.Call(&Bench::MeasureMove, kTrials);
     thread_ms = bench.Call(&Bench::MeasureThreadStartJoin, kTrials);
+    end_time = Now();
   });
 
   std::printf("Table 1: Latency of Amber Operations (light load, 4 CPUs/node)\n\n");
@@ -156,5 +158,21 @@ int main() {
   std::printf(
       "\nMeasured values are decompositions of the cost model (marshal + RPC software +\n"
       "wire + dispatch), not fitted constants; see DESIGN.md section 6.\n");
+
+  // Machine-readable results for the perf-regression baseline gate
+  // (tools/bench_compare.py vs bench/baselines/BENCH_table1.json). Both the
+  // total virtual run time and the five per-operation latencies are gated.
+  metrics::Registry registry;
+  registry.GetGauge("table1.create_ms").Set(create_ms);
+  registry.GetGauge("table1.local_invoke_ms").Set(local_ms);
+  registry.GetGauge("table1.remote_invoke_ms").Set(remote_ms);
+  registry.GetGauge("table1.move_ms").Set(move_ms);
+  registry.GetGauge("table1.thread_start_join_ms").Set(thread_ms);
+  benchutil::BenchJson json("table1");
+  json.Config("nodes", int64_t{config.nodes});
+  json.Config("procs_per_node", int64_t{config.procs_per_node});
+  json.Config("trials", int64_t{kTrials});
+  const std::string path = json.Write(end_time, &registry);
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -2,12 +2,36 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace amber {
+namespace {
+
+PanicHook& Hook() {
+  static PanicHook hook;
+  return hook;
+}
+
+}  // namespace
+
+void SetPanicHook(PanicHook hook) { Hook() = std::move(hook); }
 
 void Panic(const std::string& msg, const char* file, int line) {
   std::fprintf(stderr, "panic: %s at %s:%d\n", msg.c_str(), file, line);
   std::fflush(stderr);
+  // A panic raised *by the hook* (a failed check while flushing the black
+  // box) must not re-enter it: the guard makes the nested call fall through
+  // to abort() with the partial dump left on disk.
+  static bool in_hook = false;
+  if (Hook() && !in_hook) {
+    in_hook = true;
+    const std::string path = Hook()(msg, file, line);
+    in_hook = false;
+    if (!path.empty()) {
+      std::fprintf(stderr, "black box: %s\n", path.c_str());
+      std::fflush(stderr);
+    }
+  }
   std::abort();
 }
 

@@ -8,13 +8,28 @@
 #ifndef AMBER_SRC_BASE_PANIC_H_
 #define AMBER_SRC_BASE_PANIC_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace amber {
 
-// Prints "panic: <msg> at <file>:<line>" to stderr and aborts.
+// Prints "panic: <msg> at <file>:<line>" to stderr, runs the panic hook (if
+// one is installed — see SetPanicHook), and aborts.
 [[noreturn]] void Panic(const std::string& msg, const char* file, int line);
+
+// Last-gasp callback run by Panic between printing the message and calling
+// abort(). Returns the path of whatever post-mortem artifact it wrote (the
+// flight-recorder dump), or "" if it wrote nothing; a non-empty path is
+// printed as "black box: <path>" so the operator knows where to look. The
+// hook must not panic; if it does, the nested Panic skips straight to
+// abort() (no recursion).
+using PanicHook = std::function<std::string(const std::string& msg, const char* file, int line)>;
+
+// Installs `hook` (replacing any previous one); pass nullptr to uninstall.
+// Layering: base knows nothing about the flight recorder — amber::Runtime
+// installs a hook that flushes its attached black box (core/runtime.cc).
+void SetPanicHook(PanicHook hook);
 
 namespace internal {
 

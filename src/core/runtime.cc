@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <typeinfo>
 #include <unordered_map>
 #include <unordered_set>
@@ -244,6 +246,9 @@ Runtime::Runtime(const Config& config) : config_(config) {
 }
 
 Runtime::~Runtime() {
+  if (blackbox_ != nullptr) {
+    SetPanicHook(nullptr);
+  }
   // Destroy thread records (their std::function/vector state lives on the
   // host heap); object segments disappear with the arena.
   for (ThreadObject* t : threads_) {
@@ -1793,6 +1798,45 @@ void Runtime::SetMetrics(metrics::Registry* registry) {
   UpdateInstrumentation();
 }
 
+void Runtime::SetBlackBox(BlackBox* recorder) {
+  if (blackbox_ != nullptr) {
+    RemoveObserver(blackbox_);
+    SetPanicHook(nullptr);
+  }
+  blackbox_ = recorder;
+  if (recorder == nullptr) {
+    return;
+  }
+  AddObserver(recorder);
+  // Any Panic (AMBER_CHECK included, from fiber or event context) flushes
+  // the recorder before abort; Panic prints the returned path. The hook
+  // never raises virtual time — it only reads recorder + runtime state.
+  SetPanicHook([this](const std::string& msg, const char* file, int line) -> std::string {
+    if (blackbox_ == nullptr) {
+      return "";
+    }
+    const std::string path = "FDR_" + blackbox_->name() + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      return "";
+    }
+    std::ostringstream where;
+    where << msg << " at " << file << ":" << line;
+    blackbox_->WriteDump(out, "panic", where.str());
+    return path;
+  });
+}
+
+std::string Runtime::DumpBlackBox(const std::string& path) {
+  if (blackbox_ == nullptr) {
+    return "";
+  }
+  std::ofstream out(path);
+  AMBER_CHECK(out) << "cannot open black-box dump path " << path;
+  blackbox_->WriteDump(out, "explicit", "");
+  return path;
+}
+
 void Runtime::SetFaultInjector(fault::Injector* injector) {
   AMBER_CHECK(!ran_) << "attach the fault injector before Run()";
   AMBER_CHECK(injector_ == nullptr || injector == nullptr) << "fault injector already attached";
@@ -1846,6 +1890,9 @@ void Runtime::UpdateInstrumentation() {
   } else {
     net_->SetMessageObserver(nullptr);
   }
+  // Per-link histograms (net.link_bytes / net.link_queue_depth) are
+  // recorded inside the network itself — it alone sees channel backlog.
+  net_->SetMetrics(metrics_);
 }
 
 void Runtime::PublishRunTotals(Time end) {
@@ -1881,6 +1928,9 @@ void Runtime::PublishRunTotals(Time end) {
   m.GetGauge("run.virtual_time").Set(static_cast<double>(end));
   m.GetGauge("run.nodes").Set(static_cast<double>(nodes()));
   m.GetGauge("run.procs_per_node").Set(static_cast<double>(procs_per_node()));
+  if (blackbox_ != nullptr) {
+    blackbox_->PublishMetrics(metrics_);
+  }
 }
 
 int Runtime::SyncObjectId(const void* obj) {
@@ -1924,11 +1974,36 @@ void Runtime::NotifyLockAcquired(const void* lock, Duration wait) {
   }
 }
 
-void Runtime::NotifyLockHeldSince(const void* lock, Time when) {
+void Runtime::NotifyLockHeldSince(const void* lock, Time when, ThreadObject* holder) {
   if (!instrumented()) {
     return;
   }
-  lock_acquired_[lock] = when;
+  lock_acquired_[lock] = {when, holder};
+}
+
+std::vector<Runtime::HeldLock> Runtime::HeldLocks() const {
+  std::vector<HeldLock> held;
+  held.reserve(lock_acquired_.size());
+  for (const auto& [lock, hold] : lock_acquired_) {
+    HeldLock h;
+    // Read-only id lookup: locks that never produced an id-bearing event
+    // stay 0 — assigning here would perturb the dense numbering that
+    // traces and metrics labels already use.
+    if (auto it = sync_ids_.find(lock); it != sync_ids_.end()) {
+      h.lock = it->second;
+    }
+    if (hold.holder != nullptr && hold.holder->fiber_ != nullptr) {
+      h.holder = hold.holder->fiber_->id;
+    }
+    h.since = hold.since;
+    held.push_back(h);
+  }
+  // lock_acquired_ iterates in pointer order (nondeterministic across
+  // runs); sort by stable keys so dumps stay byte-identical.
+  std::sort(held.begin(), held.end(), [](const HeldLock& a, const HeldLock& b) {
+    return std::tie(a.lock, a.holder, a.since) < std::tie(b.lock, b.holder, b.since);
+  });
+  return held;
 }
 
 void Runtime::NotifyLockReleased(const void* lock) {
@@ -1937,7 +2012,7 @@ void Runtime::NotifyLockReleased(const void* lock) {
   }
   Duration held = 0;
   if (auto it = lock_acquired_.find(lock); it != lock_acquired_.end()) {
-    held = sim_->Now() - it->second;
+    held = sim_->Now() - it->second.since;
     lock_acquired_.erase(it);
   }
   const int id = SyncObjectId(lock);

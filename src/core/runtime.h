@@ -14,6 +14,7 @@
 #define AMBER_SRC_CORE_RUNTIME_H_
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -165,6 +166,28 @@ class RuntimeObserver {
                                  bool from_checkpoint) {}
   // DrainNode finished evacuating `node`.
   virtual void OnNodeDrained(Time when, NodeId node, int objects_moved) {}
+};
+
+// A black-box flight recorder: an observer that can additionally render a
+// post-mortem dump of everything it has retained. Register one with
+// Runtime::SetBlackBox so the runtime can flush it on amber::Panic (failed
+// AMBER_CHECK included) and on explicit Runtime::DumpBlackBox calls. The
+// concrete implementation lives in src/fdr (fdr::Recorder); core only knows
+// this interface.
+class BlackBox : public RuntimeObserver {
+ public:
+  // Renders the dump document (FDR_<name>.json schema, docs/OBSERVABILITY.md).
+  // `reason` is "panic", "explicit" or "divergence"; `detail` carries the
+  // panic message (or caller-provided context). Runs at death time — it may
+  // read the runtime through Runtime::CurrentOrNull() but must not touch
+  // virtual time.
+  virtual void WriteDump(std::ostream& out, const std::string& reason,
+                         const std::string& detail) = 0;
+  // Dump file stem: panic dumps go to FDR_<name>.json.
+  virtual const std::string& name() const = 0;
+  // Copies the recorder's volume counters (fdr.recorded / fdr.dropped) into
+  // the registry; called when Run() publishes its totals.
+  virtual void PublishMetrics(metrics::Registry* registry) {}
 };
 
 // --- Failure-aware semantics ---------------------------------------------------
@@ -353,6 +376,33 @@ class Runtime {
   // (see FailureHandler above). Default: none — unreachability panics.
   void SetFailureHandler(FailureHandler handler) { failure_handler_ = std::move(handler); }
 
+  // Attaches a black-box flight recorder: the recorder joins the observer
+  // fan-out (AddObserver — same zero-virtual-time tap), and a panic hook is
+  // installed so any amber::Panic / failed AMBER_CHECK flushes it to
+  // FDR_<name>.json before aborting (the path is printed by Panic). Pass
+  // nullptr to detach (also uninstalls the hook). The recorder must outlive
+  // the runtime or be detached first.
+  void SetBlackBox(BlackBox* recorder);
+  BlackBox* black_box() const { return blackbox_; }
+
+  // Flushes the attached black box to `path` now ("explicit" reason) —
+  // mid-run state capture without dying. Returns `path`, or "" when no
+  // recorder is attached.
+  std::string DumpBlackBox(const std::string& path);
+
+  // Snapshot of every currently-held lock (instrumented runs only): dense
+  // sync id (0 if the lock never produced an id-bearing event — i.e. was
+  // never contended or released while observed), the holder's thread id,
+  // and when the hold began. Sorted deterministically by (id, holder,
+  // since); read-only — assigns no new ids. The black box dumps this as
+  // ground truth, since uncontended acquires emit no observer event.
+  struct HeldLock {
+    int lock = 0;
+    ThreadId holder = 0;
+    Time since = 0;
+  };
+  std::vector<HeldLock> HeldLocks() const;
+
   // True when an observer or metrics registry is attached; instrumentation
   // call sites outside the runtime (core/sync) gate on this.
   bool instrumented() const { return !observers_.empty() || metrics_ != nullptr; }
@@ -361,9 +411,10 @@ class Runtime {
   // unless instrumented()) ----------------------------------------------------
   void NotifyLockBlocked(const void* lock);
   void NotifyLockAcquired(const void* lock, Duration wait);
-  // Records that `lock` became held at `when` (uncontended acquire or FIFO
-  // handoff); NotifyLockReleased derives the hold time from it.
-  void NotifyLockHeldSince(const void* lock, Time when);
+  // Records that `lock` became held at `when` by `holder` (uncontended
+  // acquire or FIFO handoff); NotifyLockReleased derives the hold time from
+  // it, and HeldLocks() snapshots it for the black box.
+  void NotifyLockHeldSince(const void* lock, Time when, ThreadObject* holder);
   void NotifyLockReleased(const void* lock);
   void NotifyConditionWake(const void* condition, int woken);
   void NotifyBarrierWait();
@@ -571,7 +622,12 @@ class Runtime {
   struct Instrumentation;
   std::unique_ptr<Instrumentation> instr_;
   std::unordered_map<const void*, int> sync_ids_;  // lock/cond -> dense id
-  std::unordered_map<const void*, Time> lock_acquired_;  // only while instrumented
+  struct LockHold {
+    Time since = 0;
+    ThreadObject* holder = nullptr;
+  };
+  std::unordered_map<const void*, LockHold> lock_acquired_;  // only while instrumented
+  BlackBox* blackbox_ = nullptr;
   bool ran_ = false;
 };
 

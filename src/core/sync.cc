@@ -20,7 +20,7 @@ void SpinLock::Acquire() {
   ThreadObject* self = rt.current_thread();
   if (holder_ == nullptr) {
     holder_ = self;
-    rt.NotifyLockHeldSince(this, k.Now());
+    rt.NotifyLockHeldSince(this, k.Now(), self);
     return;
   }
   AMBER_CHECK(holder_ != self) << "SpinLock is not recursive";
@@ -48,7 +48,7 @@ bool SpinLock::TryAcquire() {
   }
   Runtime& rt = Runtime::Current();
   holder_ = rt.current_thread();
-  rt.NotifyLockHeldSince(this, k.Now());
+  rt.NotifyLockHeldSince(this, k.Now(), holder_);
   return true;
 }
 
@@ -67,7 +67,7 @@ void SpinLock::Release() {
   spinners_.pop_front();
   holder_ = static_cast<ThreadObject*>(next->user_data);
   const Time resume = k.Now() + k.cost().spin_op;
-  rt.NotifyLockHeldSince(this, resume);  // next holder's hold starts at handoff
+  rt.NotifyLockHeldSince(this, resume, holder_);  // next holder's hold starts at handoff
   k.SpinResume(next, resume);
 }
 
@@ -81,7 +81,7 @@ void Lock::Acquire() {
   ThreadObject* self = rt.current_thread();
   if (holder_ == nullptr) {
     holder_ = self;
-    rt.NotifyLockHeldSince(this, k.Now());
+    rt.NotifyLockHeldSince(this, k.Now(), self);
     return;
   }
   AMBER_CHECK(holder_ != self) << "Lock is not recursive";
@@ -107,7 +107,7 @@ bool Lock::TryAcquire() {
   }
   Runtime& rt = Runtime::Current();
   holder_ = rt.current_thread();
-  rt.NotifyLockHeldSince(this, k.Now());
+  rt.NotifyLockHeldSince(this, k.Now(), holder_);
   return true;
 }
 
@@ -127,7 +127,7 @@ void Lock::ReleaseInternal() {
   waiters_.pop_front();
   holder_ = static_cast<ThreadObject*>(next->user_data);
   const Time resume = k.Now() + k.cost().lock_op;
-  rt.NotifyLockHeldSince(this, resume);  // next holder's hold starts at handoff
+  rt.NotifyLockHeldSince(this, resume, holder_);  // next holder's hold starts at handoff
   k.Wake(next, resume);
 }
 

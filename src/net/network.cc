@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/panic.h"
+#include "src/metrics/metrics.h"
 
 namespace net {
 
@@ -12,9 +13,24 @@ Time Network::AcquireChannel(NodeId src, NodeId dst, Time ready, Duration wire) 
     free_at = &link_free_at_[{src, dst}];  // full duplex: per direction
   }
   const Time start = std::max(ready, *free_at);
+  if (metrics_ != nullptr) {
+    // Backlog ahead of this frame when it was ready to go, expressed in
+    // frame-times of its own wire duration (0 = idle channel).
+    const Duration backlog = start - ready;
+    const int64_t depth = wire > 0 ? (backlog + wire - 1) / wire : (backlog > 0 ? 1 : 0);
+    metrics_->GetHistogram("net.link_queue_depth", metrics::Registry::LinkLabel(src, dst))
+        .Record(static_cast<double>(depth));
+  }
   *free_at = start + wire;
   busy_ns_ += wire;
   return start;
+}
+
+void Network::RecordLinkTx(NodeId src, NodeId dst, int64_t bytes) {
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("net.link_bytes", metrics::Registry::LinkLabel(src, dst))
+        .Record(static_cast<double>(bytes));
+  }
 }
 
 void Network::PostDelivery(NodeId src, NodeId dst, int64_t bytes, Time arrival,
@@ -78,6 +94,7 @@ TxResult Network::SendTracked(NodeId src, NodeId dst, int64_t bytes, Time depart
   messages_.Add();
   bytes_.Add(bytes);
   fragments_.Add();
+  RecordLinkTx(src, dst, bytes);
   const bool delivered = fd.action != FaultAction::kDrop;
   if (delivered) {
     if (on_message_) {
@@ -96,6 +113,7 @@ TxResult Network::SendTracked(NodeId src, NodeId dst, int64_t bytes, Time depart
     messages_.Add();
     bytes_.Add(bytes);
     fragments_.Add();
+    RecordLinkTx(src, dst, bytes);
     if (on_message_) {
       on_message_(depart, arrival2, src, dst, bytes);
     }
@@ -144,6 +162,7 @@ TxResult Network::SendBulkTracked(NodeId src, NodeId dst, int64_t bytes, Time de
   messages_.Add();
   bytes_.Add(bytes);
   fragments_.Add(frags);
+  RecordLinkTx(src, dst, bytes);
   const bool delivered = fd.action != FaultAction::kDrop;
   if (delivered) {
     if (on_message_) {

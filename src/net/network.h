@@ -24,6 +24,10 @@
 #include "src/sim/cost_model.h"
 #include "src/sim/kernel.h"
 
+namespace metrics {
+class Registry;
+}
+
 namespace net {
 
 using amber::Counter;
@@ -129,11 +133,24 @@ class Network {
   using MessageObserver = std::function<void(Time, Time, NodeId, NodeId, int64_t)>;
   void SetMessageObserver(MessageObserver observer) { on_message_ = std::move(observer); }
 
+  // Attaches a metrics registry (nullptr detaches): every medium
+  // transmission records per-link histograms, labelled "src->dst" —
+  // net.link_bytes (payload per transmitted message; a fault-duplicated
+  // copy counts separately, a bulk transfer counts once) and
+  // net.link_queue_depth (channel reservations: frames of backlog ahead of
+  // the frame when it was ready to transmit; 0 = idle channel). Loopback
+  // sends never touch a link and record nothing. Observation only: timings
+  // are unchanged.
+  void SetMetrics(metrics::Registry* registry) { metrics_ = registry; }
+
  private:
   // Reserves the channel (the shared bus, or the src->dst link) for a
   // transmission of `wire` duration starting no earlier than `ready`;
   // returns the transmission start time.
   Time AcquireChannel(NodeId src, NodeId dst, Time ready, Duration wire);
+
+  // Records the per-link payload-size sample for one transmitted frame.
+  void RecordLinkTx(NodeId src, NodeId dst, int64_t bytes);
 
   // Posts `deliver` for execution at `arrival`. Under fault injection the
   // receiver may crash while the frame is in flight, so liveness is
@@ -157,6 +174,7 @@ class Network {
   Duration busy_ns_ = 0;
   MessageObserver on_message_;
   FaultFilter* fault_ = nullptr;
+  metrics::Registry* metrics_ = nullptr;
 };
 
 }  // namespace net

@@ -30,6 +30,21 @@ enum class FiberState {
   kFinished,  // entry function returned or Exit() was called
 };
 
+// Stable lowercase names for dumps and diagnostics.
+inline const char* FiberStateName(FiberState s) {
+  switch (s) {
+    case FiberState::kReady:
+      return "ready";
+    case FiberState::kRunning:
+      return "running";
+    case FiberState::kBlocked:
+      return "blocked";
+    case FiberState::kFinished:
+      return "finished";
+  }
+  return "unknown";
+}
+
 class Kernel;
 
 // Plain data plus the machine context. Owned by the Kernel; the stack memory

@@ -62,6 +62,12 @@ void Kernel::DestroyFiber(Fiber* f) {
   fibers_.erase(it);
 }
 
+void Kernel::ForEachFiber(const std::function<void(const Fiber&)>& fn) const {
+  for (const auto& f : fibers_) {
+    fn(*f);
+  }
+}
+
 void Kernel::SetRunQueue(NodeId node, std::unique_ptr<RunQueue> queue) {
   AMBER_CHECK(node >= 0 && node < nodes());
   RunQueue& old = *nodes_[node].queue;

@@ -179,6 +179,13 @@ class Kernel {
   // Fibers spawned but not finished. Nonzero after Run() means deadlock.
   int live_fibers() const { return live_fibers_; }
 
+  // Read-only sweep over every fiber the kernel still tracks, in creation
+  // order (finished fibers stay listed until DestroyFiber reclaims them).
+  // Post-mortem introspection — the flight recorder's authoritative
+  // per-thread snapshot at time of death. `fn` must not call back into the
+  // kernel.
+  void ForEachFiber(const std::function<void(const Fiber&)>& fn) const;
+
   // True while any unfinished fiber sits on an up node. Background services
   // (the membership heartbeat ticks) use this to decide whether the
   // simulation still has work that could need them: fibers frozen on

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "src/base/logging.h"
+#include "src/base/panic.h"
 #include "src/base/rng.h"
 #include "src/base/stats.h"
 #include "src/base/time.h"
@@ -146,6 +147,29 @@ TEST(SamplesTest, AddAfterSortResorts) {
 TEST(SamplesTest, EmptyPercentilePanics) {
   Samples s;
   EXPECT_DEATH(s.Percentile(50), "empty");
+}
+
+TEST(PanicDeathTest, NoHookStillAborts) {
+  // With no hook installed, Panic prints the message and aborts without any
+  // "black box:" line — the hookless path must not touch the null hook.
+  SetPanicHook(nullptr);
+  EXPECT_DEATH(Panic("plain abort", "panic_test.cc", 7), "panic: plain abort at panic_test\\.cc:7");
+}
+
+TEST(PanicDeathTest, HookRunsAndPathIsAnnounced) {
+  SetPanicHook([](const std::string& msg, const char* file, int line) {
+    return std::string("HOOK_") + msg + "_" + std::to_string(line) + ".json";
+  });
+  EXPECT_DEATH(Panic("boom", "panic_test.cc", 9), "black box: HOOK_boom_9\\.json");
+  SetPanicHook(nullptr);
+}
+
+TEST(PanicDeathTest, HookReturningEmptyPrintsNoBlackBoxLine) {
+  // A hook that writes nothing returns "": Panic must treat it like the
+  // no-hook case (no announcement) and still reach abort().
+  SetPanicHook([](const std::string&, const char*, int) { return std::string(); });
+  EXPECT_DEATH(Panic("quiet hook", "panic_test.cc", 11), "panic: quiet hook at panic_test\\.cc:11");
+  SetPanicHook(nullptr);
 }
 
 TEST(CounterTest, AddAndReset) {

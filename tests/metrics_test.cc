@@ -182,6 +182,48 @@ TEST(RegistryTest, JsonByteIdenticalAcrossRuns) {
   EXPECT_EQ(RunScenario(&a), RunScenario(&b));
 }
 
+TEST(RegistryTest, PerLinkNetworkHistograms) {
+  // Traffic between node 0 and node 1 must show up as per-link histograms
+  // labelled "src->dst" — the flight-recorder report cross-references these
+  // labels when attributing cross-node traffic.
+  // Anchor the caller in an object frame on node 0: a root-frame remote call
+  // would finish on node 1 and never generate the 1->0 return leg.
+  class LinkDriver : public Object {
+   public:
+    int Drive() {
+      auto thing = New<Pokee>();
+      MoveTo(thing, 1);
+      return thing.Call(&Pokee::Poke);  // travel 0->1, return 1->0
+    }
+  };
+  Registry reg;
+  Runtime rt(TestConfig());
+  rt.SetMetrics(&reg);
+  rt.Run([] {
+    auto driver = New<LinkDriver>();
+    driver.Call(&LinkDriver::Drive);
+  });
+
+  const auto* bytes = reg.FindHistograms("net.link_bytes");
+  ASSERT_NE(bytes, nullptr);
+  const auto* depth = reg.FindHistograms("net.link_queue_depth");
+  ASSERT_NE(depth, nullptr);
+  for (const std::string& link : {std::string("0->1"), std::string("1->0")}) {
+    auto b = bytes->find(link);
+    ASSERT_NE(b, bytes->end()) << "missing net.link_bytes{" << link << "}";
+    EXPECT_GT(b->second.count(), 0);
+    EXPECT_GT(b->second.sum(), 0.0);
+    auto d = depth->find(link);
+    ASSERT_NE(d, depth->end()) << "missing net.link_queue_depth{" << link << "}";
+    // Depth is sampled per channel acquisition (per fragment), bytes once
+    // per message — fragmented bulk transfers make depth the larger count.
+    EXPECT_GE(d->second.count(), b->second.count()) << "on " << link;
+  }
+  // No traffic flowed between a node and itself: only real links appear.
+  EXPECT_EQ(bytes->count("0->0"), 0u);
+  EXPECT_EQ(bytes->count("1->1"), 0u);
+}
+
 TEST(RegistryTest, ClusterReportUsesRegistry) {
   Registry reg;
   Runtime rt(TestConfig());

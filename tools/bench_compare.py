@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against committed baselines.
+
+The simulator is deterministic: for a fixed (plan, seed) the virtual run time
+of every benchmark is an exact function of the code. Any drift in
+`virtual_time_ns` is therefore a real modelled-cost change, not noise — this
+gate fails CI when a benchmark gets slower than its committed baseline by
+more than the allowed tolerance.
+
+Usage:
+    tools/bench_compare.py --baseline bench/baselines [--current .]
+                           [--tolerance 2.0] [--tolerance chaos=5.0] ...
+                           fig2 table1 chaos
+
+Each positional argument names a benchmark: `<current>/BENCH_<name>.json` is
+compared with `<baseline>/BENCH_<name>.json`. `--tolerance PCT` sets the
+default allowed regression (percent, virtual time); `--tolerance NAME=PCT`
+overrides it for one benchmark. Gauge metrics present in both files are
+reported as deltas for context but do not gate (they are derived from the
+same virtual clock).
+
+Exit status: 0 if every benchmark is within tolerance, 1 on regression or a
+missing/unreadable file.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def gauges(doc):
+    """Flattens {"metrics": {"gauges": {name: {label: value}}}} to name/label -> value."""
+    out = {}
+    for name, fam in doc.get("metrics", {}).get("gauges", {}).items():
+        for label, value in fam.items():
+            key = name if label == "total" else f"{name}/{label}"
+            if isinstance(value, (int, float)):
+                out[key] = float(value)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="directory with BENCH_<name>.json baselines")
+    parser.add_argument("--current", default=".", help="directory with freshly produced BENCH_<name>.json")
+    parser.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        help="allowed virtual-time regression in percent: PCT (default for all) or NAME=PCT",
+    )
+    parser.add_argument("benches", nargs="+", help="benchmark names (fig2, table1, chaos, ...)")
+    args = parser.parse_args()
+
+    default_tol = 2.0
+    per_bench_tol = {}
+    for spec in args.tolerance:
+        if "=" in spec:
+            name, pct = spec.split("=", 1)
+            per_bench_tol[name] = float(pct)
+        else:
+            default_tol = float(spec)
+
+    failures = []
+    rows = []
+    for name in args.benches:
+        tol = per_bench_tol.get(name, default_tol)
+        base_path = os.path.join(args.baseline, f"BENCH_{name}.json")
+        cur_path = os.path.join(args.current, f"BENCH_{name}.json")
+        try:
+            base = load(base_path)
+            cur = load(cur_path)
+        except (OSError, ValueError) as err:
+            failures.append(f"{name}: cannot load results: {err}")
+            rows.append((name, "-", "-", "-", f"<= {tol:.1f}%", "ERROR"))
+            continue
+
+        base_ns = base.get("virtual_time_ns")
+        cur_ns = cur.get("virtual_time_ns")
+        if not isinstance(base_ns, (int, float)) or not isinstance(cur_ns, (int, float)) or base_ns <= 0:
+            failures.append(f"{name}: missing or invalid virtual_time_ns")
+            rows.append((name, str(base_ns), str(cur_ns), "-", f"<= {tol:.1f}%", "ERROR"))
+            continue
+
+        delta_pct = 100.0 * (cur_ns - base_ns) / base_ns
+        verdict = "ok"
+        if delta_pct > tol:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: virtual time {cur_ns / 1e6:.3f} ms vs baseline "
+                f"{base_ns / 1e6:.3f} ms (+{delta_pct:.2f}% > {tol:.1f}%)"
+            )
+        rows.append(
+            (
+                name,
+                f"{base_ns / 1e6:.3f} ms",
+                f"{cur_ns / 1e6:.3f} ms",
+                f"{delta_pct:+.2f}%",
+                f"<= {tol:.1f}%",
+                verdict,
+            )
+        )
+
+        base_gauges = gauges(base)
+        cur_gauges = gauges(cur)
+        for key in sorted(base_gauges.keys() & cur_gauges.keys()):
+            b, c = base_gauges[key], cur_gauges[key]
+            if b == c:
+                continue
+            rel = f" ({100.0 * (c - b) / b:+.2f}%)" if b else ""
+            print(f"  note: {name} gauge {key}: {b:g} -> {c:g}{rel}")
+
+    header = ("bench", "baseline", "current", "delta", "tolerance", "verdict")
+    widths = [max(len(str(r[i])) for r in rows + [header]) for i in range(len(header))]
+    for row in [header] + rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)).rstrip())
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
