@@ -12,6 +12,7 @@
 //     identical speedups, and likewise the 8-processor ones (2Nx4P, 4Nx2P):
 //     remote communication costs are effectively hidden.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -19,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "src/apps/sor/sor.h"
 #include "src/prof/profiler.h"
+#include "src/telemetry/telemetry.h"
 #include "src/trace/trace.h"
 
 namespace {
@@ -121,6 +123,53 @@ int main() {
     report.WriteJson(prof_out);
     std::printf("wrote PROF_fig2.json (critical path: %zu steps)\n",
                 report.critical_path.size());
+  }
+
+  // Self-telemetry overhead check (docs/OBSERVABILITY.md budget: <= 5%).
+  // The headline 8Nx4P run is repeated uninstrumented with the host-side
+  // profiler off and on, interleaved, taking the best of two each so a
+  // stray scheduling hiccup doesn't land on one side only. This block is
+  // purely additive: the BENCH/PROF/trace files above are already written.
+  {
+    telemetry::SelfProfiler::Config tcfg;
+    tcfg.name = "fig2";
+    tcfg.sample_every_events = 4096;
+    telemetry::SelfProfiler prof(tcfg);
+
+    auto timed_run = [&](bool telemetry_on) {
+      if (telemetry_on) {
+        prof.Enable();
+      }
+      const int64_t start = telemetry::NowNs();
+      const sor::Result r = sor::RunAmberOn(8, 4, params, cost);
+      const int64_t wall = telemetry::NowNs() - start;
+      if (telemetry_on) {
+        prof.Disable();
+      }
+      if (r.grid_hash != seq.grid_hash) {
+        std::printf("WARNING: grid mismatch in overhead run\n");
+      }
+      return wall;
+    };
+
+    int64_t best_off = 0;
+    int64_t best_on = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+      const int64_t off = timed_run(false);
+      const int64_t on = timed_run(true);
+      best_off = best_off == 0 ? off : std::min(best_off, off);
+      best_on = best_on == 0 ? on : std::min(best_on, on);
+    }
+    const double overhead_pct =
+        100.0 * (static_cast<double>(best_on) - static_cast<double>(best_off)) /
+        static_cast<double>(best_off);
+    std::printf(
+        "\ntelemetry overhead on 8Nx4P: off %.1f ms, on %.1f ms => %+.2f%% (budget 5%%)\n",
+        static_cast<double>(best_off) / 1e6, static_cast<double>(best_on) / 1e6, overhead_pct);
+    std::ofstream tout("TELEMETRY_fig2.json");
+    prof.WriteJson(tout);
+    std::printf("wrote TELEMETRY_fig2.json (%lld events profiled)\n",
+                static_cast<long long>(prof.count(telemetry::Count::kEvents)));
   }
   return 0;
 }

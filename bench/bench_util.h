@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -66,17 +67,55 @@ inline std::string Fmt(const char* fmt, double v) {
 
 inline std::string FmtI(int64_t v) { return std::to_string(v); }
 
+// Identifies the machine and toolchain a wall-clock number was taken on.
+// Emitted as the "host" section of every BENCH_*.json so results from
+// different machines can be told apart; tools/bench_compare.py ignores it.
+struct HostInfo {
+  int cpus;
+  std::string compiler;
+  std::string build_type;
+
+  static HostInfo Current() {
+    HostInfo h;
+    h.cpus = static_cast<int>(std::thread::hardware_concurrency());
+#if defined(__clang__)
+    h.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    h.compiler = std::string("gcc ") + __VERSION__;
+#else
+    h.compiler = "unknown";
+#endif
+#ifdef AMBER_BUILD_TYPE
+    h.build_type = AMBER_BUILD_TYPE;
+#else
+    h.build_type = "unknown";
+#endif
+    // Keep the strings JSON-safe (version banners can carry odd characters).
+    for (std::string* s : {&h.compiler, &h.build_type}) {
+      for (char& c : *s) {
+        if (c == '"' || c == '\\') {
+          c = '\'';
+        }
+      }
+    }
+    return h;
+  }
+};
+
 // Machine-readable benchmark results. Collects configuration key/value
 // pairs, then writes BENCH_<name>.json embedding the virtual run time and
 // (optionally) a full metrics::Registry dump:
 //
 //   {"bench": "<name>",
 //    "config": {...},                // insertion order
+//    "host": {...},                  // machine/toolchain metadata (HostInfo)
 //    "virtual_time_ns": <t>,
 //    "metrics": {...}}               // Registry::WriteJson document
 //
-// Values come from virtual time and deterministic event order, so two
-// identical runs produce byte-identical files.
+// Apart from the "host" section — which identifies the machine wall-clock
+// gauges were measured on and is ignored by the baseline gate — values come
+// from virtual time and deterministic event order, so two identical runs on
+// one machine produce byte-identical files.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
@@ -109,6 +148,9 @@ class BenchJson {
           << "\": " << config_[i].second;
     }
     out << (config_.empty() ? "" : "\n  ") << "},\n";
+    const HostInfo host = HostInfo::Current();
+    out << "  \"host\": {\"cpus\": " << host.cpus << ", \"compiler\": \"" << host.compiler
+        << "\", \"build_type\": \"" << host.build_type << "\"},\n";
     out << "  \"virtual_time_ns\": " << virtual_time;
     if (registry != nullptr) {
       out << ",\n  \"metrics\": ";

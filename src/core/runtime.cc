@@ -17,6 +17,7 @@
 #include "src/core/thread.h"
 #include "src/metrics/metrics.h"
 #include "src/rpc/wire.h"
+#include "src/telemetry/telemetry.h"
 
 namespace amber {
 namespace {
@@ -66,6 +67,7 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
 
   // --- sim::SchedObserver ----------------------------------------------------
   void OnFiberCreate(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     // Spawn runs in the creating fiber's context (host context for the
     // initial thread), so current() is the parent — the causal creation
     // edge the critical-path profiler walks.
@@ -80,6 +82,7 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   }
   void OnFiberDispatch(Time when, sim::NodeId node, const sim::Fiber& f,
                        Duration queue_wait) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnThreadDispatch(when, node, f.id, queue_wait);
     }
@@ -91,17 +94,20 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
     }
   }
   void OnFiberBlock(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnThreadBlock(when, node, f.id);
     }
   }
   void OnFiberUnblock(Time when, sim::NodeId node, const sim::Fiber& f, uint64_t waker_id,
                       Time wake_time) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnThreadUnblock(when, node, f.id, waker_id, wake_time);
     }
   }
   void OnFiberPreempt(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnThreadPreempt(when, node, f.id);
     }
@@ -110,6 +116,7 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
     }
   }
   void OnFiberExit(Time when, sim::NodeId node, const sim::Fiber& f) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnThreadExit(when, node, f.id);
     }
@@ -118,6 +125,7 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   // --- rpc::TransportObserver ------------------------------------------------
   void OnRpcRequest(Time depart, rpc::NodeId src, rpc::NodeId dst, int64_t bytes, uint64_t id,
                     uint64_t requester) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnRpcRequest(depart, src, dst, bytes, id, requester);
     }
@@ -127,6 +135,7 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   }
   void OnRpcResponse(Time when, Time reply_arrive, rpc::NodeId src, rpc::NodeId dst,
                      int64_t bytes, uint64_t id) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnRpcResponse(when, reply_arrive, src, dst, bytes, id);
     }
@@ -149,6 +158,7 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   }
   void OnRpcRetry(Time when, rpc::NodeId src, rpc::NodeId dst, uint64_t id, int attempt,
                   uint64_t requester) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnRpcRetry(when, src, dst, id, attempt, requester);
     }
@@ -159,6 +169,7 @@ struct Runtime::Instrumentation : public sim::SchedObserver,
   }
   void OnRpcTimeout(Time when, rpc::NodeId src, rpc::NodeId dst, uint64_t id, int attempts,
                     uint64_t requester) override {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
     for (RuntimeObserver* o : rt->observers_) {
       o->OnRpcTimeout(when, src, dst, id, attempts, requester);
     }
@@ -476,6 +487,7 @@ void Runtime::EnterInvocation(Object* primary, int64_t args_wire_bytes) {
     const bool remote = thread_migrations_ != migrations_before;
     t->frames_.back().remote = remote;
     if (!observers_.empty()) {
+      telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
       const Time now = sim_->Now();
       const std::string label = ObjectLabel(primary);
       const ThreadId tid = t->fiber_->id;
@@ -509,6 +521,7 @@ void Runtime::ExitInvocation(int64_t result_wire_bytes) {
           .Record(static_cast<double>(span));
     }
     if (!observers_.empty()) {
+      telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
       const ThreadId tid = t->fiber_->id;
       for (RuntimeObserver* o : observers_) {
         o->OnInvokeExit(now, here(), tid, span, done.remote, now - return_start);

@@ -23,6 +23,7 @@
 #include "src/base/panic.h"
 #include "src/base/stats.h"
 #include "src/sim/fiber.h"
+#include "src/telemetry/telemetry.h"
 
 namespace amber {
 
@@ -48,6 +49,7 @@ class DescriptorTable {
   // The invocation-time check. Absent entries read as uninitialized.
   Descriptor Lookup(const void* obj) const {
     lookups_.Add();
+    telemetry::CountIfActive(telemetry::Count::kDescriptorLookups);
     auto it = map_.find(obj);
     return it == map_.end() ? Descriptor{} : it->second;
   }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/base/panic.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mem {
 
@@ -20,6 +21,8 @@ void* SegmentAllocator::Allocate(size_t size) {
   }
   AMBER_CHECK(size <= MaxAllocation()) << "allocation larger than a region: " << size;
   ++total_allocations_;
+  telemetry::CountIfActive(telemetry::Count::kAllocations);
+  telemetry::CountIfActive(telemetry::Count::kAllocBytes, static_cast<int64_t>(size));
 
   // Reuse a freed block of exactly this size, whole (never split).
   auto it = free_lists_.find(size);

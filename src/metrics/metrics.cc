@@ -101,7 +101,8 @@ void Registry::WriteJson(std::ostream& out) const {
           << ", \"sum\": " << Num(h.sum()) << ", \"min\": " << Num(h.min())
           << ", \"max\": " << Num(h.max()) << ", \"mean\": " << Num(h.mean())
           << ", \"p50\": " << Num(h.Percentile(50)) << ", \"p90\": " << Num(h.Percentile(90))
-          << ", \"p99\": " << Num(h.Percentile(99)) << "}";
+          << ", \"p99\": " << Num(h.Percentile(99)) << ", \"p999\": " << Num(h.Percentile(99.9))
+          << "}";
       first = false;
     }
     out << (first ? "}" : "\n    }");

@@ -47,6 +47,16 @@ class Gauge {
   double value_ = 0.0;
 };
 
+// Fixed set of tail quantiles reports care about. Extracted in one call so a
+// consumer (bench tables, the scale harness's per-event dispatch cost) takes
+// a consistent snapshot instead of four lazy sorts.
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
 // Sample-retaining distribution with percentile queries, built on
 // amber::Samples. Values are virtual-time durations in nanoseconds unless a
 // family documents otherwise.
@@ -65,6 +75,10 @@ class Histogram {
   // p in [0, 100]. Returns 0 for an empty histogram.
   double Percentile(double p) const {
     return samples_.count() > 0 ? samples_.Percentile(p) : 0.0;
+  }
+  // p50/p90/p99/p999 in one snapshot (all 0 for an empty histogram).
+  PercentileSummary Summary() const {
+    return PercentileSummary{Percentile(50), Percentile(90), Percentile(99), Percentile(99.9)};
   }
 
  private:
@@ -125,7 +139,7 @@ class Registry {
   // Stable machine-readable document:
   //   {"counters": {name: {label: value}},
   //    "gauges":   {name: {label: value}},
-  //    "histograms": {name: {label: {count,sum,min,max,mean,p50,p90,p99}}}}
+  //    "histograms": {name: {label: {count,sum,min,max,mean,p50,p90,p99,p999}}}}
   // Families and labels render in lexicographic order; identical runs
   // produce byte-identical output.
   void WriteJson(std::ostream& out) const;

@@ -4,6 +4,7 @@
 
 #include "src/base/panic.h"
 #include "src/metrics/metrics.h"
+#include "src/telemetry/telemetry.h"
 
 namespace net {
 
@@ -35,6 +36,15 @@ void Network::RecordLinkTx(NodeId src, NodeId dst, int64_t bytes) {
 
 void Network::PostDelivery(NodeId src, NodeId dst, int64_t bytes, Time arrival,
                            std::function<void()> deliver) {
+  if (telemetry::SelfProfiler::active() != nullptr) {
+    // Attribute the delivery closure's host cost to the net_delivery bucket.
+    // Wrapped only while a profiler is active so the disabled path posts the
+    // exact same closure it always did.
+    deliver = [inner = std::move(deliver)] {
+      telemetry::ScopedWallTimer timer(telemetry::Bucket::kNetDelivery);
+      inner();
+    };
+  }
   if (fault_ == nullptr) {
     kernel_->Post(arrival, std::move(deliver));
     return;

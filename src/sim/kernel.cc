@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/panic.h"
+#include "src/telemetry/telemetry.h"
 
 namespace sim {
 
@@ -119,10 +120,22 @@ void Kernel::TryDispatch(NodeId node) {
     if (sched_observer_ != nullptr) {
       sched_observer_->OnFiberDispatch(start, node, *f, start - f->ready_since);
     }
-    current_ = f;
-    Context::Switch(&kernel_ctx_, &f->ctx);
-    current_ = nullptr;
+    if (telemetry::SelfProfiler* prof = telemetry::SelfProfiler::active()) {
+      prof->NodeDispatch(node);
+    }
+    RunFiberSlice(f);
   }
+}
+
+void Kernel::RunFiberSlice(Fiber* f) {
+  current_ = f;
+  if (telemetry::SelfProfiler::active() != nullptr) {
+    telemetry::ScopedWallTimer timer(telemetry::Bucket::kFiberRun);
+    Context::Switch(&kernel_ctx_, &f->ctx);
+  } else {
+    Context::Switch(&kernel_ctx_, &f->ctx);
+  }
+  current_ = nullptr;
 }
 
 void Kernel::SwitchToKernel(Fiber* f) { Context::Switch(&f->ctx, &kernel_ctx_); }
@@ -213,9 +226,7 @@ void Kernel::Sync() {
   Fiber* f = current_;
   queue_.Post(f->vtime, [this, f] {
     AMBER_DCHECK(f->state == FiberState::kRunning);
-    current_ = f;
-    Context::Switch(&kernel_ctx_, &f->ctx);
-    current_ = nullptr;
+    RunFiberSlice(f);
   });
   SwitchToKernel(f);
   if (f->preempt_requested) {
@@ -282,9 +293,7 @@ void Kernel::SpinResume(Fiber* f, Time t) {
       << "SpinResume target is not spinning";
   Post(t, [this, f] {
     f->vtime = std::max(f->vtime, queue_.now());
-    current_ = f;
-    Context::Switch(&kernel_ctx_, &f->ctx);
-    current_ = nullptr;
+    RunFiberSlice(f);
   });
 }
 
@@ -372,7 +381,21 @@ int Kernel::RequestPreempt(NodeId node) {
 // --- Run loop -------------------------------------------------------------------
 
 Time Kernel::Run() {
-  while (queue_.RunOne()) {
+  // The disabled path must stay exactly the bare loop: one branch decides
+  // which loop runs, and the instrumented one adds a single clock read per
+  // iteration (consecutive timestamps are differenced, so each iteration's
+  // wall cost needs only one NowNs call).
+  telemetry::SelfProfiler* prof = telemetry::SelfProfiler::active();
+  if (prof == nullptr) {
+    while (queue_.RunOne()) {
+    }
+  } else {
+    prof->SetNodeCount(nodes());
+    prof->ResetLoopClock();
+    while (queue_.RunOne()) {
+      prof->OnEventLoopIteration(queue_.now(), queue_.Size());
+    }
+    prof->SyncLoopClock();
   }
   if (live_fibers_ > 0) {
     AMBER_LOG(kWarn) << "simulation ended with " << live_fibers_

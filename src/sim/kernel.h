@@ -222,6 +222,9 @@ class Kernel {
 
   void EnqueueReady(Fiber* f, Time t);
   void TryDispatch(NodeId node);
+  // Switches into f until it switches back, timing the slice into the
+  // telemetry fiber_run bucket when a self-profiler is active.
+  void RunFiberSlice(Fiber* f);
   void ReleaseProcessorAndMaybeRequeue(Fiber* f, bool requeue);
   void SwitchToKernel(Fiber* f);
   void AfterResume(Fiber* f);

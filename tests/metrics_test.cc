@@ -32,11 +32,39 @@ TEST(HistogramTest, PercentileMath) {
   EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
 }
 
+TEST(HistogramTest, SummaryExtractsTailPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i);  // 1..1000: enough samples for p999 to resolve the tail
+  }
+  const PercentileSummary s = h.Summary();
+  EXPECT_DOUBLE_EQ(s.p50, h.Percentile(50));
+  EXPECT_DOUBLE_EQ(s.p90, h.Percentile(90));
+  EXPECT_DOUBLE_EQ(s.p99, h.Percentile(99));
+  EXPECT_DOUBLE_EQ(s.p999, h.Percentile(99.9));
+  EXPECT_NEAR(s.p50, 500.0, 1.0);
+  EXPECT_NEAR(s.p99, 990.0, 1.0);
+  EXPECT_NEAR(s.p999, 999.0, 1.0);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, h.max());
+}
+
+TEST(HistogramTest, SummaryAppearsInJson) {
+  Registry reg;
+  reg.GetHistogram("h").Record(1.0);
+  std::ostringstream out;
+  reg.WriteJson(out);
+  EXPECT_NE(out.str().find("\"p999\""), std::string::npos);
+}
+
 TEST(HistogramTest, EmptyHistogramIsSafe) {
   Histogram h;
   EXPECT_EQ(h.count(), 0);
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
   EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+  const PercentileSummary s = h.Summary();
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p999, 0.0);
 }
 
 TEST(RegistryTest, LabelsAndLookup) {

@@ -7,17 +7,30 @@ of every benchmark is an exact function of the code. Any drift in
 gate fails CI when a benchmark gets slower than its committed baseline by
 more than the allowed tolerance.
 
+Wall-clock gauges (names containing ".wall.", e.g. bench_scale's
+`scale.wall.events_per_sec`) measure the host, not the model: they are real
+measurements with real noise, so they gate under a separate, wider band
+(default 15%) with a per-metric direction — `*_per_sec` / `*throughput*`
+gauges are higher-is-better, everything else (e.g. per-event cost
+percentiles) lower-is-better. The `host` section of each BENCH file (cpu
+count, compiler, build type) identifies the machine a baseline was taken on
+and is ignored by the gate; use --no-wall-gate when comparing across
+machines, or --metric to widen one gauge's band.
+
 Usage:
     tools/bench_compare.py --baseline bench/baselines [--current .]
-                           [--tolerance 2.0] [--tolerance chaos=5.0] ...
-                           fig2 table1 chaos
+                           [--tolerance 2.0] [--tolerance chaos=5.0]
+                           [--wall-tolerance 15.0] [--no-wall-gate]
+                           [--metric scale.wall.events_per_sec=higher:75]
+                           fig2 table1 chaos scale
 
 Each positional argument names a benchmark: `<current>/BENCH_<name>.json` is
 compared with `<baseline>/BENCH_<name>.json`. `--tolerance PCT` sets the
-default allowed regression (percent, virtual time); `--tolerance NAME=PCT`
-overrides it for one benchmark. Gauge metrics present in both files are
-reported as deltas for context but do not gate (they are derived from the
-same virtual clock).
+default allowed virtual-time regression (percent); `--tolerance NAME=PCT`
+overrides it for one benchmark. `--metric NAME=DIR:PCT` (repeatable) pins a
+gauge's direction (`higher`/`lower`) and band, overriding the built-in wall
+rules. Virtual-time-derived gauges present in both files are reported as
+deltas for context but do not gate.
 
 Exit status: 0 if every benchmark is within tolerance, 1 on regression or a
 missing/unreadable file.
@@ -35,7 +48,11 @@ def load(path):
 
 
 def gauges(doc):
-    """Flattens {"metrics": {"gauges": {name: {label: value}}}} to name/label -> value."""
+    """Flattens {"metrics": {"gauges": {name: {label: value}}}} to name/label -> value.
+
+    Only the metrics section is read; the top-level "host" metadata section
+    never reaches the gate.
+    """
     out = {}
     for name, fam in doc.get("metrics", {}).get("gauges", {}).items():
         for label, value in fam.items():
@@ -43,6 +60,33 @@ def gauges(doc):
             if isinstance(value, (int, float)):
                 out[key] = float(value)
     return out
+
+
+def is_wall_metric(key):
+    return ".wall." in key
+
+
+def wall_direction(key):
+    """Built-in direction for wall-clock gauges: rates up, costs down."""
+    leaf = key.split("/")[0].rsplit(".", 1)[-1]
+    if leaf.endswith("per_sec") or "throughput" in leaf or leaf.endswith("ops"):
+        return "higher"
+    return "lower"
+
+
+def parse_metric_rules(specs):
+    """--metric NAME=DIR:PCT -> {name: (direction, tolerance_pct)}"""
+    rules = {}
+    for spec in specs:
+        try:
+            name, rest = spec.split("=", 1)
+            direction, pct = rest.split(":", 1)
+            if direction not in ("higher", "lower"):
+                raise ValueError(f"direction must be higher|lower, got {direction!r}")
+            rules[name] = (direction, float(pct))
+        except ValueError as err:
+            raise SystemExit(f"bad --metric spec {spec!r}: {err}")
+    return rules
 
 
 def main():
@@ -55,7 +99,24 @@ def main():
         default=[],
         help="allowed virtual-time regression in percent: PCT (default for all) or NAME=PCT",
     )
-    parser.add_argument("benches", nargs="+", help="benchmark names (fig2, table1, chaos, ...)")
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=15.0,
+        help="default band for wall-clock gauges (percent, direction-aware)",
+    )
+    parser.add_argument(
+        "--no-wall-gate",
+        action="store_true",
+        help="report wall-clock gauge deltas but never fail on them (cross-machine runs)",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        help="per-gauge override: NAME=DIR:PCT with DIR in {higher,lower} (repeatable)",
+    )
+    parser.add_argument("benches", nargs="+", help="benchmark names (fig2, table1, chaos, scale, ...)")
     args = parser.parse_args()
 
     default_tol = 2.0
@@ -66,6 +127,7 @@ def main():
             per_bench_tol[name] = float(pct)
         else:
             default_tol = float(spec)
+    metric_rules = parse_metric_rules(args.metric)
 
     failures = []
     rows = []
@@ -111,10 +173,31 @@ def main():
         cur_gauges = gauges(cur)
         for key in sorted(base_gauges.keys() & cur_gauges.keys()):
             b, c = base_gauges[key], cur_gauges[key]
-            if b == c:
+            rule = metric_rules.get(key)
+            gated = rule is not None or is_wall_metric(key)
+            if not gated:
+                if b == c:
+                    continue
+                rel = f" ({100.0 * (c - b) / b:+.2f}%)" if b else ""
+                print(f"  note: {name} gauge {key}: {b:g} -> {c:g}{rel}")
                 continue
-            rel = f" ({100.0 * (c - b) / b:+.2f}%)" if b else ""
-            print(f"  note: {name} gauge {key}: {b:g} -> {c:g}{rel}")
+
+            direction, band = rule if rule is not None else (wall_direction(key), args.wall_tolerance)
+            if b == 0:
+                print(f"  note: {name} wall gauge {key}: baseline is 0, skipping gate")
+                continue
+            rel_pct = 100.0 * (c - b) / b
+            worse = rel_pct < -band if direction == "higher" else rel_pct > band
+            gate = "off (--no-wall-gate)" if args.no_wall_gate else f"{direction} +/-{band:.0f}%"
+            mark = "ok"
+            if worse:
+                mark = "WORSE" if args.no_wall_gate else "REGRESSION"
+                if not args.no_wall_gate:
+                    failures.append(
+                        f"{name}: wall gauge {key}: {c:g} vs baseline {b:g} "
+                        f"({rel_pct:+.2f}%, {direction}-is-better, band {band:.0f}%)"
+                    )
+            print(f"  wall: {name} {key}: {b:g} -> {c:g} ({rel_pct:+.2f}%) [{gate}] {mark}")
 
     header = ("bench", "baseline", "current", "delta", "tolerance", "verdict")
     widths = [max(len(str(r[i])) for r in rows + [header]) for i in range(len(header))]
