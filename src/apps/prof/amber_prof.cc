@@ -33,6 +33,7 @@
 #include "src/apps/sor/sor.h"
 #include "src/core/amber.h"
 #include "src/fault/fault.h"
+#include "src/policy/policy.h"
 #include "src/prof/profiler.h"
 
 namespace {
@@ -239,6 +240,12 @@ Time RunHotspot(bool moved) {
   amber::Runtime rt(config);
   prof::Profiler profiler;
   rt.AddObserver(&profiler);
+  // Observe-only placement policy (default config: disabled): it tracks
+  // per-object invocation-origin heat from the same bus without issuing any
+  // migrations, and prints the hot-object table below — the live view of
+  // what the advisor's MoveTo advice is based on (docs/PLACEMENT.md).
+  policy::PlacementPolicy heatwatch;
+  heatwatch.AttachTo(rt);
   const Time end = rt.Run([&] {
     auto counter = amber::New<Counter>();  // lives on node 0
     auto driver = amber::NewOn<Driver>(2);
@@ -251,6 +258,8 @@ Time RunHotspot(bool moved) {
     auto t = amber::StartThread(driver, &Driver::Run, counter, 64);
     t.Join();
   });
+  heatwatch.WriteHeatSummary(std::cout);
+  std::printf("\n");
   return Emit(profiler, moved ? "hotspot_moved" : "hotspot", end);
 }
 

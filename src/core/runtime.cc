@@ -329,6 +329,9 @@ Time Runtime::Run(std::function<void()> main) {
   threads_.push_back(t);
   const Time end = sim_->Run();
   PublishRunTotals(end);
+  if (policy_ != nullptr) {
+    policy_->OnRunEnd(end);
+  }
   SetLogTimeSource(nullptr);
   return end;
 }
@@ -476,6 +479,11 @@ void Runtime::EnterInvocation(Object* primary, int64_t args_wire_bytes) {
   t->frames_.push_back(Frame{primary, instr ? sim_->Now() : 0});
   sim_->Charge(cost().local_invoke);
   sim_->Sync();
+  if (policy_ != nullptr) {
+    // Adaptive placement: offer the policy a pull before the residency
+    // check chases the object the other way (see MaybePolicyPull).
+    MaybePolicyPull(primary);
+  }
   const int64_t migrations_before = thread_migrations_;
   // Bracket the residency check: its duration (chain chasing + migration +
   // failure backoff) is the invocation's entry overhead — what a better
@@ -968,6 +976,60 @@ Status Runtime::MoveTo(Object* obj, NodeId dst) {
       return Status::kOk;
     }
   }
+}
+
+void Runtime::MaybePolicyPull(Object* primary) {
+  if (primary == nullptr) {
+    return;
+  }
+  Object* p = primary->AmberPrimary();
+  if (p == nullptr) {
+    return;  // stack-local: lives in its thread's frame, nothing to place
+  }
+  ObjectHeader& h = p->header_;
+  if (h.IsThread() || h.IsImmutable()) {
+    return;  // threads move with their fibers; immutables replicate to readers
+  }
+  ThreadObject* t = current_thread();
+  if (t->resolving_) {
+    return;  // already inside a residency resolution — don't recurse
+  }
+  const NodeId cur = here();
+  if (tables_[static_cast<size_t>(cur)]->IsResident(p)) {
+    return;  // already local: the residency check will be free
+  }
+  // The movable unit is the attach-group root: attached children cannot be
+  // MoveTo'd alone, the group migrates or stays together.
+  Object* root = p;
+  while (root->header_.attach_parent != nullptr) {
+    root = root->header_.attach_parent;
+  }
+  if (root->header_.IsThread() || root->header_.IsImmutable()) {
+    return;
+  }
+  if (!policy_->ShouldPull(root, p, cur, sim_->Now())) {
+    return;
+  }
+  const Time start = sim_->Now();
+  const NodeId src = root->header_.owner;
+  // Suppress the context-switch-in residency chase while the pull is in
+  // flight: the top frame is the object being pulled, and chasing it from
+  // ResumeHook would migrate this thread toward the moving object mid-pull.
+  t->resolving_ = true;
+  const Status s = MoveTo(root, cur);
+  t->resolving_ = false;
+  const bool ok = s == Status::kOk;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter(ok ? "policy.migrations" : "policy.migrations.failed", cur).Add();
+  }
+  if (!observers_.empty()) {
+    telemetry::ScopedWallTimer fanout(telemetry::Bucket::kObserverFanout);
+    const Time now = sim_->Now();
+    for (RuntimeObserver* o : observers_) {
+      o->OnPolicyMigration(now, root, src, cur, ok, now - start);
+    }
+  }
+  policy_->OnPullResult(root, cur, ok);
 }
 
 Status Runtime::MoveOutLocal(Object* obj, NodeId dst) {
@@ -1850,6 +1912,11 @@ std::string Runtime::DumpBlackBox(const std::string& path) {
   return path;
 }
 
+void Runtime::SetPlacementPolicy(PlacementHook* policy) {
+  AMBER_CHECK(!ran_) << "attach the placement policy before Run()";
+  policy_ = policy;
+}
+
 void Runtime::SetFaultInjector(fault::Injector* injector) {
   AMBER_CHECK(!ran_) << "attach the fault injector before Run()";
   AMBER_CHECK(injector_ == nullptr || injector == nullptr) << "fault injector already attached";
@@ -1943,6 +2010,9 @@ void Runtime::PublishRunTotals(Time end) {
   m.GetGauge("run.procs_per_node").Set(static_cast<double>(procs_per_node()));
   if (blackbox_ != nullptr) {
     blackbox_->PublishMetrics(metrics_);
+  }
+  if (policy_ != nullptr) {
+    policy_->PublishMetrics(metrics_);
   }
 }
 

@@ -166,6 +166,14 @@ class RuntimeObserver {
                                  bool from_checkpoint) {}
   // DrainNode finished evacuating `node`.
   virtual void OnNodeDrained(Time when, NodeId node, int objects_moved) {}
+
+  // --- Placement-policy events (runs with a PlacementHook attached only) -----
+  // The runtime moved `obj` (an attach-group root) from `from` to `to` on
+  // behalf of the placement policy — a pull issued on the invocation path.
+  // `ok` is whether the move landed; `cost` the virtual time the issuing
+  // thread spent on it (the migration bill the profiler attributes).
+  virtual void OnPolicyMigration(Time when, const void* obj, NodeId from, NodeId to, bool ok,
+                                 Duration cost) {}
 };
 
 // A black-box flight recorder: an observer that can additionally render a
@@ -188,6 +196,34 @@ class BlackBox : public RuntimeObserver {
   // Copies the recorder's volume counters (fdr.recorded / fdr.dropped) into
   // the registry; called when Run() publishes its totals.
   virtual void PublishMetrics(metrics::Registry* registry) {}
+};
+
+// The decision side of the adaptive-placement subsystem (src/policy). The
+// runtime consults the hook on the invocation path: when a thread is about
+// to invoke an object that is not resident here, ShouldPull may redirect
+// the §3.5 protocol — instead of migrating the thread to the object, the
+// runtime moves the object's attach-group root to the caller's node (a
+// "pull"), and the residency check then finds it local. Decisions run at
+// ordered points in fiber context, so enabled-policy runs stay
+// deterministic; with no hook attached the invocation path is untouched.
+class PlacementHook {
+ public:
+  virtual ~PlacementHook() = default;
+  // `root` is the movable unit (the target's attach-group root), `target`
+  // the invoked object whose heat the decision is about, `here` the calling
+  // thread's node. Return true to pull root to `here` now, at the calling
+  // thread's expense.
+  virtual bool ShouldPull(const Object* root, const Object* target, NodeId here, Time now) = 0;
+  // Outcome of a pull this hook requested (ok = the move landed).
+  virtual void OnPullResult(const Object* root, NodeId here, bool ok) {}
+  // Policy metrics (policy.heat and friends); called when Run() publishes
+  // its totals, only while a registry is attached.
+  virtual void PublishMetrics(metrics::Registry* registry) {}
+  // The run is over: `end` is the final virtual time, and no further hook
+  // calls will arrive. The hook outlives the runtime, so it must stop
+  // consulting runtime-owned state (the kernel clock in particular) after
+  // this — freeze anything needed for post-mortem export now.
+  virtual void OnRunEnd(Time end) {}
 };
 
 // --- Failure-aware semantics ---------------------------------------------------
@@ -385,6 +421,15 @@ class Runtime {
   void SetBlackBox(BlackBox* recorder);
   BlackBox* black_box() const { return blackbox_; }
 
+  // Attaches the adaptive-placement decision hook (policy::PlacementPolicy
+  // implements it). The hook is consulted on every invocation of a
+  // non-resident object; see PlacementHook. It is *not* an observer — pair
+  // it with AddObserver for event delivery (PlacementPolicy::AttachTo does
+  // both). Call before Run(); nullptr detaches. With no hook attached the
+  // invocation path is byte-identical to a policy-free runtime.
+  void SetPlacementPolicy(PlacementHook* policy);
+  PlacementHook* placement_policy() const { return policy_; }
+
   // Flushes the attached black box to `path` now ("explicit" reason) —
   // mid-run state capture without dying. Returns `path`, or "" when no
   // recorder is attached.
@@ -564,6 +609,12 @@ class Runtime {
   void* AllocateSegmentOnCurrentNode(size_t size);
   void ResumeHook(sim::Fiber* f);
 
+  // Invocation-path pull: gives the placement policy a chance to move the
+  // target's attach group to the calling thread's node before the §3.5
+  // residency check chases it the other way. Only called when policy_ is
+  // attached; the pull is billed to the calling thread like any MoveTo.
+  void MaybePolicyPull(Object* primary);
+
   // Installs / removes the kernel, transport and network bridges according
   // to which sinks (observer_, metrics_) are attached.
   void UpdateInstrumentation();
@@ -628,6 +679,7 @@ class Runtime {
   };
   std::unordered_map<const void*, LockHold> lock_acquired_;  // only while instrumented
   BlackBox* blackbox_ = nullptr;
+  PlacementHook* policy_ = nullptr;
   bool ran_ = false;
 };
 

@@ -1,8 +1,42 @@
 #include "src/fault/membership.h"
 
 #include "src/base/panic.h"
+#include "src/rpc/wire.h"
 
 namespace fault {
+
+std::vector<uint8_t> Membership::EncodeHeartbeat(const Heartbeat& hb) {
+  rpc::WireBuffer w;
+  w.PutU8(hb.has_summary ? 2 : hb.version);
+  w.PutU64(hb.seq);
+  w.PutU32(static_cast<uint32_t>(hb.sender));
+  if (hb.has_summary) {
+    w.PutU32(static_cast<uint32_t>(hb.summary.runnable));
+    w.PutU32(static_cast<uint32_t>(hb.summary.busy));
+    w.PutU32(static_cast<uint32_t>(hb.summary.hot_objects));
+    w.PutU32(static_cast<uint32_t>(hb.summary.recent_migrations));
+  }
+  return w.bytes();
+}
+
+Membership::Heartbeat Membership::DecodeHeartbeat(const std::vector<uint8_t>& bytes) {
+  rpc::WireBuffer r(bytes);
+  Heartbeat hb;
+  hb.version = r.GetU8();
+  hb.seq = r.GetU64();
+  hb.sender = static_cast<NodeId>(r.GetU32());
+  // The summary extension rides after the base frame. A frame from the
+  // future (version > 2) may append further fields after it; everything past
+  // what this decoder understands is deliberately ignored.
+  if (hb.version >= 2 && r.remaining() >= static_cast<size_t>(kSummaryWireBytes)) {
+    hb.has_summary = true;
+    hb.summary.runnable = static_cast<int32_t>(r.GetU32());
+    hb.summary.busy = static_cast<int32_t>(r.GetU32());
+    hb.summary.hot_objects = static_cast<int32_t>(r.GetU32());
+    hb.summary.recent_migrations = static_cast<int32_t>(r.GetU32());
+  }
+  return hb;
+}
 
 Membership::Membership(sim::Kernel* kernel, net::Network* net, MembershipConfig config)
     : kernel_(kernel), net_(net), config_(config) {
@@ -18,6 +52,16 @@ Membership::Membership(sim::Kernel* kernel, net::Network* net, MembershipConfig 
 void Membership::Start() {
   for (NodeId node = 0; node < kernel_->nodes(); ++node) {
     ArmTick(node, config_.heartbeat_period);
+  }
+}
+
+void Membership::Hear(NodeId viewer, NodeId sender) {
+  last_heard_[viewer][sender] = kernel_->Now();
+  if (suspected_[viewer][sender]) {
+    suspected_[viewer][sender] = false;
+    if (on_trust_) {
+      on_trust_(kernel_->Now(), viewer, sender);
+    }
   }
 }
 
@@ -58,22 +102,43 @@ void Membership::Tick(NodeId node) {
   const Time now = kernel_->Now();
   if (kernel_->NodeUp(node)) {
     ++seq_[node];
+    // With a summary provider attached the heartbeat carries an encoded v2
+    // payload (and pays for it on the wire); without one, the plain v1 path
+    // below is untouched so policy-free runs stay byte-identical.
+    Heartbeat hb;
+    std::vector<uint8_t> frame;
+    int64_t wire_bytes = config_.heartbeat_bytes;
+    if (summary_provider_ != nullptr) {
+      hb.seq = seq_[node];
+      hb.sender = node;
+      if (summary_provider_(node, &hb.summary)) {
+        hb.has_summary = true;
+        wire_bytes += kSummaryWireBytes;
+      }
+      frame = EncodeHeartbeat(hb);
+    }
     for (NodeId peer = 0; peer < kernel_->nodes(); ++peer) {
       if (peer == node) {
         continue;
       }
       ++heartbeats_sent_;
-      net_->Send(node, peer, config_.heartbeat_bytes, now, [this, node, peer] {
-        // Runs at `peer` on arrival (the network re-checks receiver
-        // liveness, so a frame landing on a crashed node never gets here).
-        last_heard_[peer][node] = kernel_->Now();
-        if (suspected_[peer][node]) {
-          suspected_[peer][node] = false;
-          if (on_trust_) {
-            on_trust_(kernel_->Now(), peer, node);
+      if (frame.empty()) {
+        net_->Send(node, peer, config_.heartbeat_bytes, now, [this, node, peer] {
+          // Runs at `peer` on arrival (the network re-checks receiver
+          // liveness, so a frame landing on a crashed node never gets here).
+          Hear(peer, node);
+        });
+      } else {
+        net_->Send(node, peer, wire_bytes, now, [this, node, peer, frame] {
+          Hear(peer, node);
+          if (summary_handler_) {
+            const Heartbeat rx = DecodeHeartbeat(frame);
+            if (rx.has_summary) {
+              summary_handler_(kernel_->Now(), peer, rx.sender, rx.summary);
+            }
           }
-        }
-      });
+        });
+      }
     }
     for (NodeId peer = 0; peer < kernel_->nodes(); ++peer) {
       if (peer == node || suspected_[node][peer]) {

@@ -48,10 +48,45 @@ struct MembershipConfig {
   int64_t heartbeat_bytes = 40; // seqno + sender id + protocol framing
 };
 
+// Compact per-node load summary piggybacked on heartbeats for the adaptive
+// placement policy (src/policy): each node gossips what its scheduler looks
+// like so peers can make pull/steal decisions from an eventually-consistent
+// local view instead of a global one.
+struct LoadSummary {
+  int32_t runnable = 0;           // run-queue depth at the sender
+  int32_t busy = 0;               // busy processors at the sender
+  int32_t hot_objects = 0;        // resident objects above the policy heat floor
+  int32_t recent_migrations = 0;  // policy pulls issued in the current budget window
+};
+
 class Membership {
  public:
   // (when, viewer, peer): `viewer` changed its opinion of `peer`.
   using Handler = std::function<void(Time when, NodeId viewer, NodeId peer)>;
+  // Fills `out` with the sender's current load summary; return false to send
+  // a plain (v1) heartbeat this period.
+  using SummaryProvider = std::function<bool(NodeId sender, LoadSummary* out)>;
+  // (when, viewer, sender, summary): `viewer` heard `sender`'s summary.
+  using SummaryHandler =
+      std::function<void(Time when, NodeId viewer, NodeId sender, const LoadSummary& summary)>;
+
+  // Versioned heartbeat payload. v1 is the base frame (version, seqno,
+  // sender); v2 appends the load summary. Decoders ignore unknown trailing
+  // bytes, so a v1-era node interoperates with a v2 sender: it reads the
+  // base fields and skips the extension (wire-compat test in fault_test).
+  struct Heartbeat {
+    uint8_t version = 1;  // 1 = base frame, 2 = base + load summary
+    uint64_t seq = 0;
+    NodeId sender = 0;
+    bool has_summary = false;
+    LoadSummary summary;
+  };
+
+  // Wire size of the encoded v2 extension (4 x u32).
+  static constexpr int64_t kSummaryWireBytes = 16;
+
+  static std::vector<uint8_t> EncodeHeartbeat(const Heartbeat& hb);
+  static Heartbeat DecodeHeartbeat(const std::vector<uint8_t>& bytes);
 
   Membership(sim::Kernel* kernel, net::Network* net, MembershipConfig config = {});
 
@@ -75,6 +110,14 @@ class Membership {
   void SetSuspicionHandler(Handler h) { on_suspect_ = std::move(h); }
   void SetTrustHandler(Handler h) { on_trust_ = std::move(h); }
 
+  // Piggybacks load summaries on heartbeats. With no provider attached the
+  // wire format, byte counts and delivery closures are exactly the v1
+  // protocol — a policy-free run is byte-identical. With a provider, each
+  // heartbeat grows by kSummaryWireBytes and carries the sender's summary;
+  // receivers with a handler attached get it on arrival.
+  void SetSummaryProvider(SummaryProvider p) { summary_provider_ = std::move(p); }
+  void SetSummaryHandler(SummaryHandler h) { summary_handler_ = std::move(h); }
+
   // The silence window after which a peer is suspected.
   Duration lease() const { return config_.heartbeat_period * config_.lease_periods; }
   const MembershipConfig& config() const { return config_; }
@@ -85,6 +128,7 @@ class Membership {
  private:
   void ArmTick(NodeId node, Time at);
   void Tick(NodeId node);
+  void Hear(NodeId viewer, NodeId sender);
 
   sim::Kernel* kernel_;
   net::Network* net_;
@@ -95,6 +139,8 @@ class Membership {
   std::vector<bool> tick_armed_;
   Handler on_suspect_;
   Handler on_trust_;
+  SummaryProvider summary_provider_;
+  SummaryHandler summary_handler_;
   int64_t heartbeats_sent_ = 0;
   int64_t suspicions_ = 0;
 };

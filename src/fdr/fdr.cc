@@ -46,6 +46,7 @@ const char* TypeName(EventType t) {
     case EventType::kRecoveryEnd:       return "recovery_end";
     case EventType::kObjectRecovered:   return "object_recovered";
     case EventType::kNodeDrained:       return "node_drained";
+    case EventType::kPolicyMigration:   return "policy_migration";
   }
   return "unknown";
 }
@@ -452,6 +453,13 @@ void Recorder::OnNodeDrained(Time when, NodeId node, int objects_moved) {
   Append(EventType::kNodeDrained, when, node, objects_moved);
 }
 
+void Recorder::OnPolicyMigration(Time when, const void* obj, NodeId from, NodeId to, bool ok,
+                                 Duration cost) {
+  const int id = ObjectId(obj);
+  TouchObject(id, to, when);
+  Append(EventType::kPolicyMigration, when, to, id, cost, 0, from, ok ? 1 : 0);
+}
+
 // --- Dump rendering ----------------------------------------------------------
 
 void Recorder::RenderEvent(std::ostream& out, const Record& r) const {
@@ -556,6 +564,10 @@ void Recorder::RenderEvent(std::ostream& out, const Record& r) const {
       break;
     case EventType::kNodeDrained:
       out << ",\"objects_moved\":" << r.a;
+      break;
+    case EventType::kPolicyMigration:
+      out << ",\"object\":" << r.a << ",\"from\":" << r.aux << ",\"cost_ns\":" << r.b
+          << ",\"ok\":" << (r.flag ? "true" : "false");
       break;
   }
   out << "}";

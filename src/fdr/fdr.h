@@ -95,6 +95,7 @@ enum class EventType : uint8_t {
   kRecoveryEnd,
   kObjectRecovered,
   kNodeDrained,
+  kPolicyMigration,
 };
 
 class Recorder : public amber::BlackBox {
@@ -165,6 +166,8 @@ class Recorder : public amber::BlackBox {
   void OnObjectRecovered(Time when, const void* obj, NodeId from, NodeId to,
                          bool from_checkpoint) override;
   void OnNodeDrained(Time when, NodeId node, int objects_moved) override;
+  void OnPolicyMigration(Time when, const void* obj, NodeId from, NodeId to, bool ok,
+                         Duration cost) override;
 
  private:
   // The compact binary encoding: one fixed-width record per event. `a`,

@@ -1,0 +1,205 @@
+// Online decentralized adaptive placement — the closed-loop counterpart of
+// the post-mortem placement advisor (src/prof) and the boot-time placers
+// (core/placement.h).
+//
+// Every node runs the same PlacementPolicy protocol with no global view
+// (ABS-NET-style, PAPERS.md):
+//
+//   * Heat: each invocation event on the RuntimeObserver bus bumps an EWMA
+//     of (object, origin-node) heat, decayed exponentially in virtual time
+//     (half_life). Local calls defend an object's current home; remote
+//     calls build the case for pulling it toward the caller.
+//   * Gossip: each node summarizes its scheduler (run-queue depth, busy
+//     processors, resident hot-set, recent migration count) and gossips the
+//     summary — piggybacked on the PR-4 membership heartbeats when a fault
+//     plan is active, or over its own periodic datagrams otherwise. The
+//     result is an eventually-consistent local view of every neighbor.
+//   * Decision: the runtime consults ShouldPull on the invocation path
+//     (amber::PlacementHook). A pull is granted only when the caller's
+//     decayed heat dominates the home node's by improvement_ratio AND the
+//     hysteresis gates pass: minimum residency since the last move, a
+//     cooldown after each policy move of the same object, a per-node
+//     migration budget per window, and a load veto from the gossiped view.
+//     Attach groups move with their root or not at all; the policy defers
+//     to failure handling (no pulls while recovery episodes run, none of
+//     objects homed on membership-suspected nodes, none on drained nodes).
+//
+// Observation is always on once attached: a *disabled* policy (the default
+// config) still tracks heat and exports the labelled policy.heat histograms
+// so amber-prof/amber-top can display hot objects without enabling
+// migration — while issuing no pulls, sending no gossip, and leaving every
+// byte of the run's output identical to an un-policied runtime.
+//
+// Determinism: heat updates and decisions happen at ordered bus/invocation
+// points in fiber context, decay is pure double arithmetic on virtual
+// timestamps, and gossip rides the deterministic network — the same seed
+// yields the same migrations, byte for byte. See docs/PLACEMENT.md.
+
+#ifndef AMBER_SRC_POLICY_POLICY_H_
+#define AMBER_SRC_POLICY_POLICY_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/fault/membership.h"
+
+namespace policy {
+
+using amber::Duration;
+using amber::NodeId;
+using amber::ThreadId;
+using amber::Time;
+
+struct PolicyConfig {
+  // Master switch. false = observe-only: heat tracking + policy.heat export,
+  // no pulls, no gossip, zero virtual-time footprint.
+  bool enabled = false;
+
+  // --- Heat model ------------------------------------------------------------
+  // Each invocation adds one unit of (object, origin) heat; existing heat
+  // halves every half_life of virtual time.
+  Duration half_life = amber::Millis(20);
+
+  // --- Hysteresis (docs/PLACEMENT.md has the full interaction table) ---------
+  double min_heat = 3.0;           // decayed heat an origin needs before a pull
+  double improvement_ratio = 2.0;  // origin heat must beat home heat by this factor
+  Duration min_residency = amber::Millis(2);  // after ANY move of the object
+  Duration cooldown = amber::Millis(10);      // after a policy move of the object
+  int migration_budget = 8;                   // pulls per node per budget window
+  Duration budget_window = amber::Millis(50);
+  // Load veto: deny pulls when this node's run-queue exceeds the object's
+  // home-node depth (from the gossiped summary) by more than this.
+  int max_queue_imbalance = 8;
+
+  // --- Load-summary gossip ---------------------------------------------------
+  // Cadence of the standalone summary datagrams used when no membership
+  // service exists (fault-free runs). With a fault plan active the summary
+  // piggybacks on every membership heartbeat instead and this is unused.
+  // The summaries only feed the load *veto* (a stale view just vetoes less
+  // precisely), so the cadence trades freshness against wire contention
+  // with the application's own traffic; 20 ms keeps the gossip under ~1% of
+  // a communication-heavy workload's virtual time.
+  Duration summary_period = amber::Millis(20);
+  int64_t summary_bytes = 40;  // encoded summary + datagram framing
+};
+
+// Per-node adaptive placement engine. One instance serves the whole
+// simulated machine (it keeps per-node state internally, and all callbacks
+// arrive on the single host thread at deterministic points). Attach with
+// AttachTo before Run(); the policy must outlive the runtime.
+class PlacementPolicy : public amber::RuntimeObserver, public amber::PlacementHook {
+ public:
+  explicit PlacementPolicy(PolicyConfig config = {});
+
+  PlacementPolicy(const PlacementPolicy&) = delete;
+  PlacementPolicy& operator=(const PlacementPolicy&) = delete;
+
+  // Joins the runtime's observer fan-out (heat tracking) and installs
+  // itself as the invocation-path decision hook. When enabled, also arms
+  // the load-summary gossip: piggybacked on membership heartbeats if a
+  // fault plan is active (call SetFaultInjector first), standalone
+  // datagrams otherwise.
+  void AttachTo(amber::Runtime& rt);
+
+  const PolicyConfig& config() const { return config_; }
+
+  int64_t pulls_granted() const { return pulls_granted_; }
+  int64_t pulls_completed() const { return pulls_completed_; }
+  int64_t pulls_failed() const { return pulls_failed_; }
+  int64_t summaries_sent() const { return summaries_sent_; }
+  int64_t summaries_received() const { return summaries_received_; }
+
+  // Decayed heat of (object, origin) as of `now` — test introspection.
+  double HeatOf(const void* obj, NodeId origin, Time now) const;
+
+  // Human-readable hot-object table (amber-prof prints this): per object,
+  // its current home and the decayed per-origin heat, hottest first. Works
+  // with the engine disabled — observation is always on once attached.
+  void WriteHeatSummary(std::ostream& out) const;
+
+  // --- amber::PlacementHook --------------------------------------------------
+  bool ShouldPull(const amber::Object* root, const amber::Object* target, NodeId here,
+                  Time now) override;
+  void OnPullResult(const amber::Object* root, NodeId here, bool ok) override;
+  void PublishMetrics(metrics::Registry* registry) override;
+  void OnRunEnd(Time end) override;
+
+  // --- amber::RuntimeObserver ------------------------------------------------
+  void OnInvokeEnter(Time when, NodeId node, ThreadId thread, const void* obj,
+                     const std::string& object, bool remote, NodeId origin,
+                     Duration entry_overhead) override;
+  void OnObjectMove(Time when, const void* obj, NodeId src, NodeId dst, int64_t bytes) override;
+  void OnRecoveryStart(Time when, NodeId node, ThreadId thread, const void* obj) override;
+  void OnRecoveryEnd(Time when, NodeId node, ThreadId thread, const void* obj, bool ok) override;
+  void OnNodeDrained(Time when, NodeId node, int objects_moved) override;
+
+ private:
+  struct OriginHeat {
+    double heat = 0.0;
+    Time updated = 0;
+  };
+  struct ObjState {
+    uint64_t id = 0;  // dense first-seen order (deterministic label)
+    std::string label;
+    NodeId home = 0;       // node of the most recent invocation entry
+    Time first_seen = 0;
+    Time last_move = 0;    // any OnObjectMove of this object
+    Time cooldown_until = 0;  // set when a policy pull is granted
+    int64_t policy_moves = 0;
+    std::map<NodeId, OriginHeat> origins;  // ordered: deterministic export
+  };
+  struct NodeBudget {
+    Time window_start = 0;
+    int used = 0;
+  };
+  struct SummaryView {
+    fault::LoadSummary summary;
+    Time when = 0;
+    bool valid = false;
+  };
+
+  const ObjState* Find(const void* obj) const;
+  // The kernel clock while the run is live, the frozen end time after —
+  // post-mortem exports (amber-prof, tests) outlive the runtime.
+  Time Now() const;
+  ObjState& Ensure(const void* obj, const std::string& label, Time when);
+  double Decayed(const OriginHeat& h, Time now) const;
+  // Total decayed heat of an object across all origins.
+  double TotalHeat(const ObjState& st, Time now) const;
+  void Deny(const char* reason);
+  fault::LoadSummary LocalSummary(NodeId node, Time now) const;
+  void ReceiveSummary(Time when, NodeId viewer, NodeId sender, const fault::LoadSummary& s);
+  void ArmSummaryTick(NodeId node, Time at);
+  void SummaryTick(NodeId node);
+
+  PolicyConfig config_;
+  amber::Runtime* rt_ = nullptr;
+  sim::Kernel* kernel_ = nullptr;
+  net::Network* net_ = nullptr;
+  fault::Membership* membership_ = nullptr;
+
+  std::unordered_map<const void*, size_t> index_;  // object -> objects_ slot
+  std::vector<ObjState> objects_;                  // dense first-seen order
+  std::vector<NodeBudget> budget_;                 // per node
+  std::vector<std::vector<SummaryView>> view_;     // [viewer][sender]
+  std::vector<bool> tick_armed_;                   // standalone gossip chains
+  std::vector<bool> drained_;
+  Time frozen_now_ = 0;  // final virtual time once frozen_ (run over)
+  bool frozen_ = false;
+  int recovery_depth_ = 0;
+  int64_t pulls_granted_ = 0;
+  int64_t pulls_completed_ = 0;
+  int64_t pulls_failed_ = 0;
+  int64_t summaries_sent_ = 0;
+  int64_t summaries_received_ = 0;
+  std::map<std::string, int64_t> denials_;  // reason -> count (ordered export)
+};
+
+}  // namespace policy
+
+#endif  // AMBER_SRC_POLICY_POLICY_H_

@@ -11,7 +11,9 @@
 #include <string>
 
 #include "src/core/amber.h"
+#include "src/fault/membership.h"
 #include "src/metrics/metrics.h"
+#include "src/rpc/wire.h"
 #include "src/trace/trace.h"
 
 namespace amber {
@@ -311,6 +313,96 @@ TEST(FaultStatusTest, ForwardingChainThroughDeadNodeIsRepaired) {
     EXPECT_EQ(Locate(c), 2);
   });
   EXPECT_EQ(injector.crashes(), 1);
+}
+
+// --- Heartbeat wire compatibility ---------------------------------------------
+//
+// The membership heartbeat payload is versioned so the load-summary gossip
+// (src/policy) could be added without a flag day: a v1 decoder reads only
+// the fixed prefix and must not choke on a longer v2 frame, a v2 decoder
+// must accept a bare v1 frame, and unknown trailing bytes from any future
+// version are ignored.
+
+TEST(HeartbeatWireTest, V2RoundTripsAndV1FrameStillDecodes) {
+  fault::Membership::Heartbeat hb;
+  hb.seq = 41;
+  hb.sender = 3;
+  hb.has_summary = true;
+  hb.summary.runnable = 5;
+  hb.summary.busy = 2;
+  hb.summary.hot_objects = 7;
+  hb.summary.recent_migrations = 1;
+
+  const std::vector<uint8_t> frame = fault::Membership::EncodeHeartbeat(hb);
+  const fault::Membership::Heartbeat rx = fault::Membership::DecodeHeartbeat(frame);
+  EXPECT_EQ(rx.version, 2);
+  EXPECT_EQ(rx.seq, 41u);
+  EXPECT_EQ(rx.sender, 3);
+  ASSERT_TRUE(rx.has_summary);
+  EXPECT_EQ(rx.summary.runnable, 5);
+  EXPECT_EQ(rx.summary.busy, 2);
+  EXPECT_EQ(rx.summary.hot_objects, 7);
+  EXPECT_EQ(rx.summary.recent_migrations, 1);
+
+  // A plain v1 frame (no summary) decodes with has_summary=false.
+  fault::Membership::Heartbeat old;
+  old.seq = 9;
+  old.sender = 1;
+  const fault::Membership::Heartbeat rx1 =
+      fault::Membership::DecodeHeartbeat(fault::Membership::EncodeHeartbeat(old));
+  EXPECT_EQ(rx1.version, 1);
+  EXPECT_EQ(rx1.seq, 9u);
+  EXPECT_EQ(rx1.sender, 1);
+  EXPECT_FALSE(rx1.has_summary);
+}
+
+TEST(HeartbeatWireTest, V1StyleReaderAcceptsV2Frame) {
+  fault::Membership::Heartbeat hb;
+  hb.seq = 123;
+  hb.sender = 2;
+  hb.has_summary = true;
+  hb.summary.runnable = 4;
+
+  // What a pre-summary decoder does: read the fixed prefix, stop. The
+  // trailing summary bytes must simply be left unread, not corrupt the base
+  // fields or trip the underrun guards.
+  rpc::WireBuffer r(fault::Membership::EncodeHeartbeat(hb));
+  EXPECT_GE(r.GetU8(), 1);  // version: newer than it knows, prefix unchanged
+  EXPECT_EQ(r.GetU64(), 123u);
+  EXPECT_EQ(r.GetU32(), 2u);
+  EXPECT_EQ(r.remaining(), static_cast<size_t>(fault::Membership::kSummaryWireBytes));
+}
+
+TEST(HeartbeatWireTest, FutureVersionTrailingBytesAreIgnored) {
+  // A hypothetical v3 frame: v2 payload plus unknown trailing extension
+  // bytes. Today's decoder must read the base + summary and ignore the rest.
+  fault::Membership::Heartbeat hb;
+  hb.seq = 77;
+  hb.sender = 0;
+  hb.has_summary = true;
+  hb.summary.hot_objects = 3;
+  std::vector<uint8_t> frame = fault::Membership::EncodeHeartbeat(hb);
+  frame[0] = 3;  // claim a future version
+  frame.insert(frame.end(), {0xde, 0xad, 0xbe, 0xef, 0x01});
+
+  const fault::Membership::Heartbeat rx = fault::Membership::DecodeHeartbeat(frame);
+  EXPECT_EQ(rx.version, 3);
+  EXPECT_EQ(rx.seq, 77u);
+  EXPECT_EQ(rx.sender, 0);
+  ASSERT_TRUE(rx.has_summary);
+  EXPECT_EQ(rx.summary.hot_objects, 3);
+
+  // And a future frame whose extra bytes are too short to hold a summary
+  // still yields the base fields.
+  fault::Membership::Heartbeat bare;
+  bare.seq = 6;
+  bare.sender = 1;
+  std::vector<uint8_t> short_frame = fault::Membership::EncodeHeartbeat(bare);
+  short_frame[0] = 3;
+  short_frame.push_back(0x42);  // 1 trailing byte < kSummaryWireBytes
+  const fault::Membership::Heartbeat rx2 = fault::Membership::DecodeHeartbeat(short_frame);
+  EXPECT_EQ(rx2.seq, 6u);
+  EXPECT_FALSE(rx2.has_summary);
 }
 
 }  // namespace

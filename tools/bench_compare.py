@@ -17,12 +17,17 @@ count, compiler, build type) identifies the machine a baseline was taken on
 and is ignored by the gate; use --no-wall-gate when comparing across
 machines, or --metric to widen one gauge's band.
 
+Improvements beyond a band never fail the gate, but they are printed as
+"ratchet candidate" notes: the committed baseline is stale, and until it is
+refreshed a later change could silently give the whole win back. Refresh the
+named baseline file to lock the improvement in.
+
 Usage:
     tools/bench_compare.py --baseline bench/baselines [--current .]
                            [--tolerance 2.0] [--tolerance chaos=5.0]
                            [--wall-tolerance 15.0] [--no-wall-gate]
                            [--metric scale.wall.events_per_sec=higher:75]
-                           fig2 table1 chaos scale
+                           fig2 table1 chaos scale hotspot
 
 Each positional argument names a benchmark: `<current>/BENCH_<name>.json` is
 compared with `<baseline>/BENCH_<name>.json`. `--tolerance PCT` sets the
@@ -158,6 +163,17 @@ def main():
                 f"{name}: virtual time {cur_ns / 1e6:.3f} ms vs baseline "
                 f"{base_ns / 1e6:.3f} ms (+{delta_pct:.2f}% > {tol:.1f}%)"
             )
+        elif delta_pct < -tol:
+            # An improvement beyond the tolerance band is not a failure, but
+            # it means the committed baseline is stale: until it is refreshed,
+            # a follow-up change could give the whole win back without
+            # tripping the gate. Surface it so the author ratchets.
+            verdict = "ok (ratchet)"
+            print(
+                f"  ratchet candidate: {name} virtual time improved "
+                f"{base_ns / 1e6:.3f} ms -> {cur_ns / 1e6:.3f} ms ({delta_pct:.2f}%); "
+                f"refresh {base_path} to lock in the win"
+            )
         rows.append(
             (
                 name,
@@ -188,8 +204,16 @@ def main():
                 continue
             rel_pct = 100.0 * (c - b) / b
             worse = rel_pct < -band if direction == "higher" else rel_pct > band
+            better = rel_pct > band if direction == "higher" else rel_pct < -band
             gate = "off (--no-wall-gate)" if args.no_wall_gate else f"{direction} +/-{band:.0f}%"
             mark = "ok"
+            if better:
+                mark = "ok (ratchet)"
+                print(
+                    f"  ratchet candidate: {name} wall gauge {key} improved "
+                    f"{b:g} -> {c:g} ({rel_pct:+.2f}%, {direction}-is-better); "
+                    f"consider refreshing {base_path}"
+                )
             if worse:
                 mark = "WORSE" if args.no_wall_gate else "REGRESSION"
                 if not args.no_wall_gate:
