@@ -150,6 +150,11 @@ inline void Yield() { Runtime::Current().sim().Yield(); }
 inline NodeId Here() { return Runtime::Current().here(); }
 
 inline Time Now() { return Runtime::Current().now(); }
+
+// Parks the calling thread until virtual time `t` (no-op if already past).
+// Open-loop workload drivers use this to pace deterministic arrival
+// processes independently of how long each request takes to serve.
+inline void SleepUntil(Time t) { Runtime::Current().sim().SleepUntil(t); }
 inline int Nodes() { return Runtime::Current().nodes(); }
 inline int ProcsPerNode() { return Runtime::Current().procs_per_node(); }
 

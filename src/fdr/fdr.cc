@@ -116,7 +116,7 @@ Recorder::Ring& Recorder::RingFor(NodeId node) {
 }
 
 void Recorder::Append(EventType type, Time when, NodeId node, int64_t a, int64_t b, int64_t c,
-                      int32_t aux, uint8_t flag) {
+                      int32_t aux, uint8_t flag, uint64_t span) {
   Ring& ring = RingFor(node);
   Record& r = ring.buf[ring.appended % ring.buf.size()];
   r.when = when;
@@ -124,6 +124,7 @@ void Recorder::Append(EventType type, Time when, NodeId node, int64_t a, int64_t
   r.a = a;
   r.b = b;
   r.c = c;
+  r.span = span;
   r.aux = aux;
   r.type = type;
   r.flag = flag;
@@ -266,7 +267,8 @@ void Recorder::OnThreadJoin(Time when, NodeId node, ThreadId thread, ThreadId ta
 
 void Recorder::OnThreadMigrate(Time when, NodeId src, NodeId dst, ThreadId thread,
                                int64_t bytes) {
-  Append(EventType::kThreadMigrate, when, src, static_cast<int64_t>(thread), bytes, 0, dst);
+  Append(EventType::kThreadMigrate, when, src, static_cast<int64_t>(thread), bytes, 0, dst, 0,
+         SpanOf(thread));
   ThreadLive& t = Thread(thread);
   t.pending = WaitKind::kMigration;
   t.pending_node = dst;
@@ -282,14 +284,14 @@ void Recorder::OnInvokeEnter(Time when, NodeId node, ThreadId thread, const void
   }
   TouchObject(id, node, when);
   Append(EventType::kInvokeEnter, when, node, static_cast<int64_t>(thread), id, entry_overhead,
-         origin, remote ? 1 : 0);
+         origin, remote ? 1 : 0, SpanOf(thread));
   Thread(thread).stack.push_back(id);
 }
 
 void Recorder::OnInvokeExit(Time when, NodeId node, ThreadId thread, Duration span, bool remote,
                             Duration exit_overhead) {
   Append(EventType::kInvokeExit, when, node, static_cast<int64_t>(thread), span, exit_overhead,
-         0, remote ? 1 : 0);
+         0, remote ? 1 : 0, SpanOf(thread));
   ThreadLive& t = Thread(thread);
   if (!t.stack.empty()) {
     t.stack.pop_back();
@@ -297,7 +299,8 @@ void Recorder::OnInvokeExit(Time when, NodeId node, ThreadId thread, Duration sp
 }
 
 void Recorder::OnLockBlocked(Time when, NodeId node, ThreadId thread, int lock) {
-  Append(EventType::kLockBlocked, when, node, static_cast<int64_t>(thread), 0, 0, lock);
+  Append(EventType::kLockBlocked, when, node, static_cast<int64_t>(thread), 0, 0, lock, 0,
+         SpanOf(thread));
   ThreadLive& t = Thread(thread);
   t.pending = WaitKind::kLock;
   t.pending_arg = lock;
@@ -306,7 +309,8 @@ void Recorder::OnLockBlocked(Time when, NodeId node, ThreadId thread, int lock) 
 
 void Recorder::OnLockAcquired(Time when, NodeId node, ThreadId thread, int lock,
                               Duration wait) {
-  Append(EventType::kLockAcquired, when, node, static_cast<int64_t>(thread), wait, 0, lock);
+  Append(EventType::kLockAcquired, when, node, static_cast<int64_t>(thread), wait, 0, lock, 0,
+         SpanOf(thread));
   LockLive& l = locks_[lock];
   l.holder = thread;
   l.waiters.erase(std::remove(l.waiters.begin(), l.waiters.end(), thread), l.waiters.end());
@@ -331,7 +335,7 @@ void Recorder::OnConditionWake(Time when, NodeId node, int condition, int woken)
 void Recorder::OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id,
                             ThreadId requester) {
   Append(EventType::kRpcRequest, depart, src, static_cast<int64_t>(id), bytes,
-         static_cast<int64_t>(requester), dst);
+         static_cast<int64_t>(requester), dst, 0, SpanOf(requester));
   rpcs_[id] = RpcLive{src, dst, bytes, requester, depart, 1};
   if (requester != 0) {
     ThreadLive& t = Thread(requester);
@@ -351,7 +355,7 @@ void Recorder::OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId ds
 void Recorder::OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt,
                           ThreadId requester) {
   Append(EventType::kRpcRetry, when, src, static_cast<int64_t>(id), attempt,
-         static_cast<int64_t>(requester), dst);
+         static_cast<int64_t>(requester), dst, 0, SpanOf(requester));
   auto it = rpcs_.find(id);
   if (it != rpcs_.end()) {
     it->second.attempts = attempt + 1;  // attempt is the 1-based retransmission count
@@ -366,7 +370,7 @@ void Recorder::OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int at
 void Recorder::OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts,
                             ThreadId requester) {
   Append(EventType::kRpcTimeout, when, src, static_cast<int64_t>(id), attempts,
-         static_cast<int64_t>(requester), dst);
+         static_cast<int64_t>(requester), dst, 0, SpanOf(requester));
   rpcs_.erase(id);
 }
 
@@ -411,7 +415,8 @@ void Recorder::OnNodeRestart(Time when, NodeId node) {
 }
 
 void Recorder::OnFailureBackoff(Time when, NodeId node, ThreadId thread, Duration backoff) {
-  Append(EventType::kFailureBackoff, when, node, static_cast<int64_t>(thread), backoff);
+  Append(EventType::kFailureBackoff, when, node, static_cast<int64_t>(thread), backoff, 0, 0, 0,
+         SpanOf(thread));
   Thread(thread).pending = WaitKind::kBackoff;
 }
 
@@ -569,6 +574,11 @@ void Recorder::RenderEvent(std::ostream& out, const Record& r) const {
       out << ",\"object\":" << r.a << ",\"from\":" << r.aux << ",\"cost_ns\":" << r.b
           << ",\"ok\":" << (r.flag ? "true" : "false");
       break;
+  }
+  // Trace join key, present only when a span source stamped the record —
+  // span-free dumps stay byte-identical to the pre-span schema.
+  if (r.span != 0) {
+    out << ",\"span\":" << r.span;
   }
   out << "}";
 }

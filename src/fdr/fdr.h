@@ -3,7 +3,7 @@
 // A fdr::Recorder subscribes to the amber::RuntimeObserver bus and encodes
 // *every* event — scheduler, invocation, lock, RPC, migration, fault,
 // membership, recovery — into fixed-size per-node ring buffers of compact
-// 48-byte binary records (O(1) append, no allocation once the rings are
+// 56-byte binary records (O(1) append, no allocation once the rings are
 // sized; an overwritten record counts as dropped). Alongside the rings it
 // maintains a small live-state model fed by the same events: what each
 // thread is doing and what it is blocked on, who holds and who waits on
@@ -36,6 +36,7 @@
 #define AMBER_SRC_FDR_FDR_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <set>
@@ -112,6 +113,16 @@ class Recorder : public amber::BlackBox {
   int64_t recorded() const;  // records appended across all rings
   int64_t dropped() const;   // records overwritten before being dumped
 
+  // Joins records to request traces (src/rtrace): `source(thread)` returns
+  // the thread's active span id, 0 when untraced. Thread-scoped records
+  // (invoke, lock, rpc, migration, backoff) are stamped with it at append
+  // time and dump a "span" field when nonzero — with no source set (or an
+  // unsampled run) every record stamps 0 and the dump is byte-identical to
+  // the pre-span schema.
+  void SetSpanSource(std::function<uint64_t(ThreadId)> source) {
+    span_source_ = std::move(source);
+  }
+
   // --- amber::BlackBox --------------------------------------------------------
   void WriteDump(std::ostream& out, const std::string& reason,
                  const std::string& detail) override;
@@ -181,12 +192,13 @@ class Recorder : public amber::BlackBox {
     int64_t a = 0;
     int64_t b = 0;
     int64_t c = 0;
+    uint64_t span = 0;  // active rtrace span of the acting thread (0 = untraced)
     int32_t aux = 0;
     EventType type = EventType::kThreadCreate;
     uint8_t flag = 0;  // small per-type flag: remote / ok / drop-reason code
     int16_t node = 0;
   };
-  static_assert(sizeof(Record) == 48, "compact record layout");
+  static_assert(sizeof(Record) == 56, "compact record layout");
 
   struct Ring {
     std::vector<Record> buf;  // capacity fixed when the ring is created
@@ -242,7 +254,11 @@ class Recorder : public amber::BlackBox {
 
   Ring& RingFor(NodeId node);
   void Append(EventType type, Time when, NodeId node, int64_t a = 0, int64_t b = 0,
-              int64_t c = 0, int32_t aux = 0, uint8_t flag = 0);
+              int64_t c = 0, int32_t aux = 0, uint8_t flag = 0, uint64_t span = 0);
+  // The acting thread's active span id via the span source (0 without one).
+  uint64_t SpanOf(ThreadId thread) const {
+    return span_source_ && thread != 0 ? span_source_(thread) : 0;
+  }
   ThreadLive& Thread(ThreadId tid);
   int ObjectId(const void* obj);
   void TouchObject(int id, NodeId node, Time when);
@@ -263,6 +279,7 @@ class Recorder : public amber::BlackBox {
   std::unordered_map<const void*, int> obj_ids_;
   std::vector<ObjectLive> objects_;  // by dense id
   uint64_t next_seq_ = 0;
+  std::function<uint64_t(ThreadId)> span_source_;
 };
 
 }  // namespace fdr

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 
 namespace metrics {
 namespace {
@@ -37,6 +38,59 @@ std::string Quote(const std::string& s) {
 }
 
 }  // namespace
+
+Exemplar Histogram::ExemplarNear(double v) const {
+  Exemplar best;
+  double best_dist = 0.0;
+  for (const auto& [bucket, ex] : exemplars_) {
+    const double dist = std::fabs(ex.value - v);
+    if (best.trace_id == 0 || dist < best_dist) {
+      best = ex;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+template <typename Family>
+typename Family::mapped_type& Registry::Lookup(std::map<std::string, Family>& families,
+                                               const std::string& name, const std::string& label,
+                                               typename Family::mapped_type& sink) {
+  Family& fam = families[name];
+  auto it = fam.find(label);
+  if (it != fam.end()) {
+    return it->second;
+  }
+  if (fam.size() >= label_cap_) {
+    NoteDroppedLabel(name);
+    return sink;
+  }
+  return fam[label];
+}
+
+void Registry::NoteDroppedLabel(const std::string& name) {
+  ++dropped_labels_;
+  // Bypass the capped lookup: the drop counter itself must always land.
+  counters_["metrics.dropped_labels"]["total"].Add(1);
+  bool& warned = warned_families_[name];
+  if (!warned) {
+    warned = true;
+    std::cerr << "metrics: family \"" << name << "\" hit the label cap (" << label_cap_
+              << "); further new labels are dropped (metrics.dropped_labels counts them)\n";
+  }
+}
+
+Counter& Registry::GetCounter(const std::string& name, const std::string& label) {
+  return Lookup(counters_, name, label, counter_sink_);
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const std::string& label) {
+  return Lookup(gauges_, name, label, gauge_sink_);
+}
+
+Histogram& Registry::GetHistogram(const std::string& name, const std::string& label) {
+  return Lookup(histograms_, name, label, histogram_sink_);
+}
 
 const Registry::CounterFamily* Registry::FindCounters(const std::string& name) const {
   auto it = counters_.find(name);
@@ -101,8 +155,20 @@ void Registry::WriteJson(std::ostream& out) const {
           << ", \"sum\": " << Num(h.sum()) << ", \"min\": " << Num(h.min())
           << ", \"max\": " << Num(h.max()) << ", \"mean\": " << Num(h.mean())
           << ", \"p50\": " << Num(h.Percentile(50)) << ", \"p90\": " << Num(h.Percentile(90))
-          << ", \"p99\": " << Num(h.Percentile(99)) << ", \"p999\": " << Num(h.Percentile(99.9))
-          << "}";
+          << ", \"p99\": " << Num(h.Percentile(99)) << ", \"p999\": " << Num(h.Percentile(99.9));
+      // Exemplars render only when present, so histograms recorded without
+      // trace ids emit exactly the pre-exemplar document.
+      if (!h.exemplars().empty()) {
+        out << ", \"exemplars\": {";
+        bool first_ex = true;
+        for (const auto& [bucket, ex] : h.exemplars()) {
+          out << (first_ex ? "" : ", ") << "\"" << bucket << "\": {\"value\": " << Num(ex.value)
+              << ", \"trace_id\": " << ex.trace_id << "}";
+          first_ex = false;
+        }
+        out << "}";
+      }
+      out << "}";
       first = false;
     }
     out << (first ? "}" : "\n    }");

@@ -18,6 +18,7 @@
 #ifndef AMBER_SRC_METRICS_METRICS_H_
 #define AMBER_SRC_METRICS_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -57,6 +58,15 @@ struct PercentileSummary {
   double p999 = 0.0;
 };
 
+// OpenMetrics-style exemplar: one concrete observation retained per
+// power-of-two bucket, carrying the trace id of the request that produced
+// it. The p999 bucket of a latency histogram thereby names a real trace a
+// tool (amber-tail) can reconstruct, instead of an anonymous quantile.
+struct Exemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;
+};
+
 // Sample-retaining distribution with percentile queries, built on
 // amber::Samples. Values are virtual-time durations in nanoseconds unless a
 // family documents otherwise.
@@ -65,6 +75,17 @@ class Histogram {
   void Record(double v) {
     samples_.Add(v);
     acc_.Add(v);
+  }
+
+  // Records v and, when trace_id is nonzero (a sampled trace), retains it as
+  // the exemplar of v's power-of-two bucket (most recent observation wins).
+  // Record(v, 0) is byte-for-byte equivalent to Record(v): exemplars render
+  // only when at least one exists, so unsampled runs emit unchanged JSON.
+  void Record(double v, uint64_t trace_id) {
+    Record(v);
+    if (trace_id != 0) {
+      exemplars_[BucketOf(v)] = Exemplar{v, trace_id};
+    }
   }
 
   int64_t count() const { return acc_.count(); }
@@ -81,9 +102,28 @@ class Histogram {
     return PercentileSummary{Percentile(50), Percentile(90), Percentile(99), Percentile(99.9)};
   }
 
+  // Bucket index: floor(log2(v)) for v >= 1, 0 below (ordered map keys keep
+  // the JSON rendering deterministic).
+  static int BucketOf(double v) {
+    uint64_t n = v >= 1.0 ? static_cast<uint64_t>(v) : 1;
+    int b = 0;
+    while (n >>= 1) {
+      ++b;
+    }
+    return b;
+  }
+
+  // Exemplars by bucket index (empty unless Record(v, trace_id) ran).
+  const std::map<int, Exemplar>& exemplars() const { return exemplars_; }
+
+  // The retained exemplar whose value lies closest to v — how a consumer
+  // resolves "which trace is my p999" — or a zero Exemplar when none exist.
+  Exemplar ExemplarNear(double v) const;
+
  private:
   mutable amber::Samples samples_;  // Percentile() sorts lazily
   amber::Accumulator acc_;
+  std::map<int, Exemplar> exemplars_;
 };
 
 class Registry {
@@ -97,28 +137,36 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   // --- Registration / lookup (creates the instance on first use) -----------
+  //
+  // Per-family label cardinality is capped (SetLabelCap, default 4096): the
+  // first lookup past the cap warns once per family on stderr, bumps the
+  // `metrics.dropped_labels` counter, and returns a family-shared sink
+  // instance that WriteJson never renders — so a per-object or per-trace
+  // label dimension gone wrong degrades one family instead of blowing up
+  // the JSON document or the host heap.
 
-  Counter& GetCounter(const std::string& name) { return counters_[name]["total"]; }
+  Counter& GetCounter(const std::string& name) { return GetCounter(name, std::string("total")); }
   Counter& GetCounter(const std::string& name, int node) {
-    return counters_[name][NodeLabel(node)];
+    return GetCounter(name, NodeLabel(node));
   }
-  Counter& GetCounter(const std::string& name, const std::string& label) {
-    return counters_[name][label];
-  }
+  Counter& GetCounter(const std::string& name, const std::string& label);
 
-  Gauge& GetGauge(const std::string& name) { return gauges_[name]["total"]; }
-  Gauge& GetGauge(const std::string& name, int node) { return gauges_[name][NodeLabel(node)]; }
-  Gauge& GetGauge(const std::string& name, const std::string& label) {
-    return gauges_[name][label];
-  }
+  Gauge& GetGauge(const std::string& name) { return GetGauge(name, std::string("total")); }
+  Gauge& GetGauge(const std::string& name, int node) { return GetGauge(name, NodeLabel(node)); }
+  Gauge& GetGauge(const std::string& name, const std::string& label);
 
-  Histogram& GetHistogram(const std::string& name) { return histograms_[name]["total"]; }
+  Histogram& GetHistogram(const std::string& name) {
+    return GetHistogram(name, std::string("total"));
+  }
   Histogram& GetHistogram(const std::string& name, int node) {
-    return histograms_[name][NodeLabel(node)];
+    return GetHistogram(name, NodeLabel(node));
   }
-  Histogram& GetHistogram(const std::string& name, const std::string& label) {
-    return histograms_[name][label];
-  }
+  Histogram& GetHistogram(const std::string& name, const std::string& label);
+
+  // Maximum distinct labels per family before new labels drop to the sink.
+  void SetLabelCap(size_t cap) { label_cap_ = cap; }
+  size_t label_cap() const { return label_cap_; }
+  int64_t dropped_labels() const { return dropped_labels_; }
 
   // --- Read-only access (reports) ------------------------------------------
 
@@ -150,9 +198,23 @@ class Registry {
   }
 
  private:
+  // Shared lookup-with-cap: existing labels always resolve; a new label in a
+  // full family drops to `sink` (never rendered) and is counted.
+  template <typename Family>
+  typename Family::mapped_type& Lookup(std::map<std::string, Family>& families,
+                                       const std::string& name, const std::string& label,
+                                       typename Family::mapped_type& sink);
+  void NoteDroppedLabel(const std::string& name);
+
   std::map<std::string, CounterFamily> counters_;
   std::map<std::string, GaugeFamily> gauges_;
   std::map<std::string, HistogramFamily> histograms_;
+  size_t label_cap_ = 4096;
+  int64_t dropped_labels_ = 0;
+  std::map<std::string, bool> warned_families_;
+  Counter counter_sink_;
+  Gauge gauge_sink_;
+  Histogram histogram_sink_;
 };
 
 }  // namespace metrics

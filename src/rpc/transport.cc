@@ -79,15 +79,26 @@ RoundtripResult Transport::Roundtrip(NodeId dst, int64_t request_bytes,
   sim::Fiber* f = kernel_->current();
   const NodeId src = f->node;
   AMBER_CHECK(dst != src) << "roundtrip to self";
-  const Time depart = ChargeSendPath(request_bytes);
+  // Trace-context piggyback: an empty frame (untraced request, or no hook)
+  // adds zero bytes and triggers no arrival callback — byte-exact.
+  std::vector<uint8_t> ctx;
+  if (trace_hook_ != nullptr) {
+    ctx = trace_hook_->ContextFrame(f->id, src, dst);
+  }
+  const int64_t wire_bytes = request_bytes + static_cast<int64_t>(ctx.size());
+  const Time depart = ChargeSendPath(wire_bytes);
   ++roundtrips_;
   const uint64_t id = next_rpc_id_++;
   if (observer_ != nullptr) {
-    observer_->OnRpcRequest(depart, src, dst, request_bytes, id, f->id);
+    observer_->OnRpcRequest(depart, src, dst, wire_bytes, id, f->id);
   }
   Time reply_arrival = 0;
-  net_->Send(src, dst, request_bytes, depart, [this, f, src, dst, service, id, &reply_arrival] {
+  net_->Send(src, dst, wire_bytes, depart, [this, f, src, dst, service, id, ctx,
+                                            &reply_arrival] {
     const Time served = kernel_->Now();
+    if (trace_hook_ != nullptr && !ctx.empty()) {
+      trace_hook_->OnContextArrive(served, dst, ctx);
+    }
     const int64_t reply_bytes = service();
     // The service's unmarshal/marshal work is folded into the fixed
     // rpc_recv_software/marshal_base terms below (latency model).
@@ -109,6 +120,13 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
   AMBER_CHECK(dst != src) << "roundtrip to self";
   ++roundtrips_;
   const uint64_t id = next_rpc_id_++;
+  // Queried once: every retransmission re-carries the identical context
+  // frame, so a request that only lands on attempt k still arrives tagged.
+  std::vector<uint8_t> ctx;
+  if (trace_hook_ != nullptr) {
+    ctx = trace_hook_->ContextFrame(f->id, src, dst);
+  }
+  const int64_t wire_bytes = request_bytes + static_cast<int64_t>(ctx.size());
   auto st = std::make_shared<RtState>();
   st->requester = f;
 
@@ -130,13 +148,18 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
   // executes the service and sends the reply; duplicates (retransmissions
   // racing a slow reply, or fault-duplicated frames) re-send the cached
   // reply without re-running the service.
-  auto on_request = [this, st, dst, src, id, service, on_reply] {
+  auto on_request = [this, st, dst, src, id, service, on_reply, ctx] {
     if (st->cancelled) {
       return;  // requester gave up and unwound; see RtState::cancelled
     }
     if (!st->service_ran) {
       st->service_ran = true;
       const Time served = kernel_->Now();
+      // Context delivery pairs with service execution: a duplicate frame
+      // re-sends the cached reply but does not re-announce the arrival.
+      if (trace_hook_ != nullptr && !ctx.empty()) {
+        trace_hook_->OnContextArrive(served, dst, ctx);
+      }
       st->reply_bytes = service();
       // Cache the reply for duplicate suppression — bounded: the entry dies
       // when the requester completes (ack piggybacked on its next frame,
@@ -171,9 +194,9 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
     }
     Time depart;
     if (attempt == 0) {
-      depart = ChargeSendPath(request_bytes);
+      depart = ChargeSendPath(wire_bytes);
       if (observer_ != nullptr) {
-        observer_->OnRpcRequest(depart, src, dst, request_bytes, id, f->id);
+        observer_->OnRpcRequest(depart, src, dst, wire_bytes, id, f->id);
       }
     } else {
       // Retransmission: the payload is already marshalled; only the protocol
@@ -191,7 +214,7 @@ RoundtripResult Transport::RoundtripReliable(NodeId dst, int64_t request_bytes,
     st->waiting = true;
     st->epoch = attempt;
     sent = attempt + 1;
-    net_->SendTracked(src, dst, request_bytes, depart, on_request);
+    net_->SendTracked(src, dst, wire_bytes, depart, on_request);
     const Duration timeout = retry_.AttemptTimeout(attempt);
     kernel_->Post(depart + timeout, [this, st, attempt] {
       // Only the attempt that armed this timer may expire it; a reply that
@@ -227,11 +250,22 @@ TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
   sim::Fiber* f = kernel_->current();
   const NodeId src = f->node;
   AMBER_CHECK(dst != src) << "travel to self";
+  // The migrating thread's context rides its own carrier frame, so a traced
+  // request's identity survives the hop even though the fiber's host-side
+  // state never leaves the process.
+  std::vector<uint8_t> ctx;
+  if (trace_hook_ != nullptr) {
+    ctx = trace_hook_->ContextFrame(f->id, src, dst);
+  }
+  const int64_t wire_bytes = payload_bytes + static_cast<int64_t>(ctx.size());
   if (!reliable_) {
-    const Time depart = ChargeSendPath(payload_bytes);
+    const Time depart = ChargeSendPath(wire_bytes);
     ++travels_;
-    const Time arrival = net_->Send(src, dst, payload_bytes, depart, nullptr);
+    const Time arrival = net_->Send(src, dst, wire_bytes, depart, nullptr);
     kernel_->TravelTo(dst, arrival);
+    if (trace_hook_ != nullptr && !ctx.empty()) {
+      trace_hook_->OnContextArrive(kernel_->Now(), dst, ctx);
+    }
     return TravelResult{};
   }
   ++travels_;
@@ -243,7 +277,7 @@ TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
     }
     Time depart;
     if (attempt == 0) {
-      depart = ChargeSendPath(payload_bytes);
+      depart = ChargeSendPath(wire_bytes);
     } else {
       kernel_->Charge(kernel_->cost().rpc_send_software);
       kernel_->Sync();
@@ -257,9 +291,12 @@ TravelResult Transport::Travel(NodeId dst, int64_t payload_bytes) {
     // protocol's arrival ack: a lost carrier frame surfaces as an ack
     // timeout at the source, which still holds the thread and retransmits.
     sent = attempt + 1;
-    const net::TxResult tx = net_->SendTracked(src, dst, payload_bytes, depart, nullptr);
+    const net::TxResult tx = net_->SendTracked(src, dst, wire_bytes, depart, nullptr);
     if (tx.delivered) {
       kernel_->TravelTo(dst, tx.arrival);
+      if (trace_hook_ != nullptr && !ctx.empty()) {
+        trace_hook_->OnContextArrive(kernel_->Now(), dst, ctx);
+      }
       return TravelResult{SendStatus::kOk, attempt + 1};
     }
     const Duration timeout = retry_.AttemptTimeout(attempt);

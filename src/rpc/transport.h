@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "src/net/network.h"
 #include "src/sim/kernel.h"
@@ -100,6 +101,25 @@ class TransportObserver {
   virtual void OnRpcDuplicateSuppressed(Time when, NodeId node, uint64_t id) {}
 };
 
+// Trace-context piggybacking (src/rtrace). The hook is consulted once per
+// Roundtrip/Travel on the requesting fiber; the returned frame rides every
+// transmission of that operation (a retransmission re-carries the identical
+// context) and is handed back at the destination when the payload is
+// consumed — service execution for roundtrips, fiber arrival for travels.
+// An empty frame means "this request is not traced" and leaves the
+// operation byte-exact: no extra payload bytes, no arrival callback, no
+// events. With no hook attached the transport never even asks.
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+  // Encoded context to piggyback for `requester` (the blocked fiber's id),
+  // or {} for an untraced request.
+  virtual std::vector<uint8_t> ContextFrame(uint64_t requester, NodeId src, NodeId dst) = 0;
+  // A tagged frame's payload reached `node` (ordered point, event or fiber
+  // context). `frame` is exactly the bytes ContextFrame returned.
+  virtual void OnContextArrive(Time when, NodeId node, const std::vector<uint8_t>& frame) {}
+};
+
 class Transport {
  public:
   Transport(sim::Kernel* kernel, net::Network* network) : kernel_(kernel), net_(network) {}
@@ -139,6 +159,9 @@ class Transport {
   // Attaches a roundtrip observer (nullptr detaches). Emission sites are
   // guarded, so the cost is zero when none is attached.
   void SetObserver(TransportObserver* observer) { observer_ = observer; }
+
+  // Attaches the trace-context hook (nullptr detaches); see TraceHook.
+  void SetTraceHook(TraceHook* hook) { trace_hook_ = hook; }
 
   // Switches Roundtrip/Travel onto the timeout/retry/dedup path. Off by
   // default; fault injection turns it on. When off, behaviour and event
@@ -193,6 +216,7 @@ class Transport {
   sim::Kernel* kernel_;
   net::Network* net_;
   TransportObserver* observer_ = nullptr;
+  TraceHook* trace_hook_ = nullptr;
   RetryPolicy retry_;
   std::function<bool(NodeId, NodeId)> suspects_;
   std::unordered_map<uint64_t, CachedReply> reply_cache_;

@@ -1,0 +1,616 @@
+#include "src/rtrace/rtrace.h"
+
+#include <algorithm>
+
+#include "src/rpc/wire.h"
+
+namespace rtrace {
+namespace {
+
+void EscapeJson(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\';
+    }
+    if (static_cast<unsigned char>(c) >= 0x20) {
+      out << c;
+    }
+  }
+}
+
+// Every completed trace carries all categories (zero included), so dumps
+// diff cleanly and consumers need no key-existence checks.
+constexpr const char* kCategories[] = {"compute", "join",     "lock",  "migration", "other",
+                                       "queue",   "recovery", "retry", "rpc"};
+
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest:
+      return "request";
+    case SpanKind::kInvoke:
+      return "invoke";
+    case SpanKind::kRpc:
+      return "rpc";
+    case SpanKind::kLockWait:
+      return "lock_wait";
+    case SpanKind::kMigration:
+      return "migration";
+    case SpanKind::kBackoff:
+      return "backoff";
+    case SpanKind::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> EncodeContext(const TraceContext& ctx) {
+  rpc::WireBuffer w;
+  w.PutU8(ctx.has_baggage ? 2 : ctx.version);
+  w.PutU64(ctx.trace_id);
+  w.PutU64(ctx.span_id);
+  w.PutU8(ctx.flags);
+  if (ctx.has_baggage) {
+    w.PutU64(ctx.baggage);
+  }
+  return w.bytes();
+}
+
+TraceContext DecodeContext(const std::vector<uint8_t>& bytes) {
+  rpc::WireBuffer r(bytes);
+  TraceContext ctx;
+  ctx.version = r.GetU8();
+  ctx.trace_id = r.GetU64();
+  ctx.span_id = r.GetU64();
+  ctx.flags = r.GetU8();
+  // The baggage extension rides after the base frame. A frame from the
+  // future (version > 2) may append further fields after it; everything
+  // past what this decoder understands is deliberately ignored.
+  if (ctx.version >= 2 && r.remaining() >= kBaggageWireBytes) {
+    ctx.has_baggage = true;
+    ctx.baggage = r.GetU64();
+  }
+  return ctx;
+}
+
+Tracer::Tracer(TraceConfig config) : config_(std::move(config)) {}
+
+void Tracer::AttachTo(amber::Runtime& rt) {
+  rt_ = &rt;
+  rt.AddObserver(this);
+  rt.transport().SetTraceHook(this);
+}
+
+uint64_t Tracer::OpenRequest(const std::string& name) {
+  ++requests_seen_;
+  if (config_.sample_every == 0 ||
+      static_cast<uint64_t>(requests_seen_ - 1) % config_.sample_every != 0) {
+    return 0;
+  }
+  sim::Fiber* f = rt_ != nullptr ? rt_->sim().current() : nullptr;
+  if (f == nullptr) {
+    return 0;  // no fiber to bind the root thread to
+  }
+  ++requests_sampled_;
+  const uint64_t trace_id = next_trace_id_++;
+  armed_[f->id] = ArmedRequest{name, trace_id};
+  return trace_id;
+}
+
+uint64_t Tracer::CurrentTraceId() const {
+  if (rt_ == nullptr) {
+    return 0;
+  }
+  sim::Fiber* f = rt_->sim().current();
+  if (f == nullptr) {
+    return 0;
+  }
+  auto it = threads_.find(f->id);
+  return it != threads_.end() ? it->second.trace_id : 0;
+}
+
+uint64_t Tracer::CurrentSpanOf(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  if (it == threads_.end() || it->second.span_stack.empty()) {
+    return 0;
+  }
+  return it->second.span_stack.back();
+}
+
+const Trace* Tracer::FindTrace(uint64_t trace_id) const {
+  auto it = traces_.find(trace_id);
+  return it != traces_.end() ? &it->second : nullptr;
+}
+
+Trace* Tracer::TraceOf(ThreadCtx& ctx) {
+  auto it = traces_.find(ctx.trace_id);
+  return it != traces_.end() ? &it->second : nullptr;
+}
+
+Tracer::ThreadCtx* Tracer::Ctx(ThreadId thread) {
+  auto it = threads_.find(thread);
+  return it != threads_.end() ? &it->second : nullptr;
+}
+
+uint64_t Tracer::AddSpan(ThreadCtx& ctx, SpanKind kind, Time start, Time end, NodeId node,
+                         ThreadId thread, const std::string& label, int64_t aux,
+                         uint64_t parent) {
+  Trace* t = TraceOf(ctx);
+  if (t == nullptr) {
+    return 0;
+  }
+  Span s;
+  s.id = next_span_id_++;
+  s.parent = parent != 0 ? parent : (ctx.span_stack.empty() ? 0 : ctx.span_stack.back());
+  s.kind = kind;
+  s.start = start;
+  s.end = end;
+  s.node = node;
+  s.thread = thread;
+  s.label = label;
+  s.aux = aux;
+  t->spans.push_back(std::move(s));
+  return t->spans.back().id;
+}
+
+Span* Tracer::FindSpan(Trace& trace, uint64_t span_id) {
+  for (Span& s : trace.spans) {
+    if (s.id == span_id) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void Tracer::CloseSegment(ThreadCtx& ctx, Time when, const char* category) {
+  Trace* t = TraceOf(ctx);
+  if (t != nullptr) {
+    // Consecutive segment deltas telescope, so the category sums equal
+    // end - start *exactly* no matter how the run interleaved.
+    t->attribution[category] += when - ctx.seg_start;
+  }
+  ctx.seg_start = when;
+}
+
+const char* Tracer::BlockedCategory(const ThreadCtx& ctx) const {
+  if (ctx.recovery_depth > 0) {
+    return "recovery";
+  }
+  switch (ctx.blocked_cause) {
+    case Cause::kRpc:
+      return "rpc";
+    case Cause::kRetry:
+      return "retry";
+    case Cause::kLock:
+      return "lock";
+    case Cause::kMigration:
+      return "migration";
+    case Cause::kJoin:
+      return "join";
+    case Cause::kOther:
+      break;
+  }
+  return "other";
+}
+
+void Tracer::FinishTrace(ThreadCtx& ctx, Time when) {
+  Trace* t = TraceOf(ctx);
+  if (t == nullptr) {
+    return;
+  }
+  t->end = when;
+  t->done = true;
+  // Force-close anything the root left open (its own spans only — a child
+  // thread outliving the request keeps recording into the trace until it
+  // exits, but the request is over).
+  for (Span& s : t->spans) {
+    if (s.end == 0 && s.thread == t->root_thread) {
+      s.end = when;
+    }
+  }
+  completion_order_.push_back(t->trace_id);
+  EvictIfOverCapacity();
+}
+
+void Tracer::EvictIfOverCapacity() {
+  while (completion_order_.size() > config_.max_traces) {
+    const uint64_t victim = completion_order_.front();
+    completion_order_.erase(completion_order_.begin());
+    traces_.erase(victim);
+    ++traces_evicted_;
+  }
+}
+
+// --- rpc::TraceHook ------------------------------------------------------------
+
+std::vector<uint8_t> Tracer::ContextFrame(uint64_t requester, NodeId src, NodeId dst) {
+  auto it = threads_.find(requester);
+  if (it == threads_.end()) {
+    return {};  // untraced request: zero extra bytes on the wire
+  }
+  const ThreadCtx& ctx = it->second;
+  TraceContext tc;
+  tc.trace_id = ctx.trace_id;
+  tc.span_id = ctx.span_stack.empty() ? 0 : ctx.span_stack.back();
+  tc.flags = kContextFlagSampled;
+  if (config_.wire_baggage) {
+    tc.has_baggage = true;
+    auto trace = traces_.find(ctx.trace_id);
+    tc.baggage = trace != traces_.end() ? static_cast<uint64_t>(trace->second.hops) : 0;
+  }
+  return EncodeContext(tc);
+}
+
+void Tracer::OnContextArrive(Time when, NodeId node, const std::vector<uint8_t>& frame) {
+  const TraceContext ctx = DecodeContext(frame);
+  auto it = traces_.find(ctx.trace_id);
+  if (!ctx.sampled() || it == traces_.end()) {
+    ++contexts_invalid_;
+    return;
+  }
+  ++contexts_propagated_;
+  ++it->second.hops;
+}
+
+// --- Observer callbacks --------------------------------------------------------
+
+void Tracer::OnThreadCreate(Time when, NodeId node, ThreadId thread, const std::string& name,
+                            ThreadId parent) {
+  auto armed = armed_.find(parent);
+  if (armed != armed_.end()) {
+    // This create is the request root the parent announced with OpenRequest.
+    const ArmedRequest req = armed->second;
+    armed_.erase(armed);
+    Trace& t = traces_[req.trace_id];
+    t.trace_id = req.trace_id;
+    t.name = req.name;
+    t.root_thread = thread;
+    t.start = when;
+    for (const char* cat : kCategories) {
+      t.attribution[cat] = 0;
+    }
+    ThreadCtx& ctx = threads_[thread];
+    ctx.trace_id = req.trace_id;
+    ctx.is_root = true;
+    ctx.state = RunState::kQueued;
+    ctx.seg_start = when;
+    Span root;
+    root.id = next_span_id_++;
+    root.kind = SpanKind::kRequest;
+    root.start = when;
+    root.node = node;
+    root.thread = thread;
+    root.label = req.name;
+    t.spans.push_back(std::move(root));
+    ctx.span_stack.push_back(t.spans.back().id);
+    return;
+  }
+  // A thread created by a traced thread inherits the trace for span
+  // recording (its scheduling is not attributed — only the root's is).
+  ThreadCtx* pctx = Ctx(parent);
+  if (pctx != nullptr) {
+    const uint64_t inherited =
+        pctx->span_stack.empty() ? 0 : pctx->span_stack.back();
+    ThreadCtx& ctx = threads_[thread];
+    ctx.trace_id = pctx->trace_id;
+    ctx.is_root = false;
+    ctx.span_stack.push_back(inherited);
+  }
+}
+
+void Tracer::OnThreadDispatch(Time when, NodeId node, ThreadId thread, Duration queue_wait) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr) {
+    return;
+  }
+  if (ctx->open_migration_span != 0) {
+    // First dispatch after a migration departure: the hop is complete
+    // (or reverted) and the thread is running again.
+    Trace* t = TraceOf(*ctx);
+    if (t != nullptr) {
+      Span* s = FindSpan(*t, ctx->open_migration_span);
+      if (s != nullptr && s->end == 0) {
+        s->end = when;
+      }
+    }
+    ctx->open_migration_span = 0;
+  }
+  if (!ctx->is_root) {
+    return;
+  }
+  if (ctx->state == RunState::kQueued) {
+    CloseSegment(*ctx, when, "queue");
+  }
+  ctx->state = RunState::kRunning;
+}
+
+void Tracer::OnThreadBlock(Time when, NodeId node, ThreadId thread) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr || !ctx->is_root) {
+    return;
+  }
+  CloseSegment(*ctx, when, "compute");
+  ctx->state = RunState::kBlocked;
+  ctx->blocked_cause = ctx->pending;
+  ctx->pending = Cause::kOther;
+}
+
+void Tracer::OnThreadUnblock(Time when, NodeId node, ThreadId thread, ThreadId waker,
+                             Time wake_time) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr || !ctx->is_root || ctx->state != RunState::kBlocked) {
+    return;
+  }
+  CloseSegment(*ctx, when, BlockedCategory(*ctx));
+  ctx->blocked_cause = Cause::kOther;
+  ctx->state = RunState::kQueued;
+}
+
+void Tracer::OnThreadPreempt(Time when, NodeId node, ThreadId thread) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr || !ctx->is_root) {
+    return;
+  }
+  if (ctx->state == RunState::kRunning) {
+    CloseSegment(*ctx, when, "compute");
+  }
+  ctx->state = RunState::kQueued;
+}
+
+void Tracer::OnThreadExit(Time when, NodeId node, ThreadId thread) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr) {
+    return;
+  }
+  if (ctx->is_root) {
+    switch (ctx->state) {
+      case RunState::kRunning:
+        CloseSegment(*ctx, when, "compute");
+        break;
+      case RunState::kQueued:
+        CloseSegment(*ctx, when, "queue");
+        break;
+      case RunState::kBlocked:
+        CloseSegment(*ctx, when, BlockedCategory(*ctx));
+        break;
+    }
+    FinishTrace(*ctx, when);
+  } else {
+    // Close the child's leftover open spans so the dump has no dangling
+    // end_ns = 0 entries.
+    Trace* t = TraceOf(*ctx);
+    if (t != nullptr) {
+      for (Span& s : t->spans) {
+        if (s.end == 0 && s.thread == thread) {
+          s.end = when;
+        }
+      }
+    }
+  }
+  threads_.erase(thread);
+}
+
+void Tracer::OnThreadJoin(Time when, NodeId node, ThreadId thread, ThreadId target) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx != nullptr && ctx->is_root) {
+    ctx->pending = Cause::kJoin;
+  }
+}
+
+void Tracer::OnThreadMigrate(Time when, NodeId src, NodeId dst, ThreadId thread,
+                             int64_t bytes) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr) {
+    return;
+  }
+  ctx->open_migration_span =
+      AddSpan(*ctx, SpanKind::kMigration, when, 0, src, thread, "", dst);
+  if (ctx->is_root) {
+    ctx->pending = Cause::kMigration;
+  }
+}
+
+void Tracer::OnInvokeEnter(Time when, NodeId node, ThreadId thread, const void* obj,
+                           const std::string& object, bool remote, NodeId origin,
+                           Duration entry_overhead) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr) {
+    return;
+  }
+  const uint64_t id = AddSpan(*ctx, SpanKind::kInvoke, when, 0, node, thread, object, origin);
+  if (id != 0) {
+    ctx->span_stack.push_back(id);
+  }
+}
+
+void Tracer::OnInvokeExit(Time when, NodeId node, ThreadId thread, Duration span, bool remote,
+                          Duration exit_overhead) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr || ctx->span_stack.size() <= 1) {
+    return;  // never pop the base (request / inherited) span
+  }
+  Trace* t = TraceOf(*ctx);
+  if (t != nullptr) {
+    Span* s = FindSpan(*t, ctx->span_stack.back());
+    if (s != nullptr && s->end == 0) {
+      s->end = when;
+    }
+  }
+  ctx->span_stack.pop_back();
+}
+
+void Tracer::OnLockBlocked(Time when, NodeId node, ThreadId thread, int lock) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx != nullptr && ctx->is_root) {
+    ctx->pending = Cause::kLock;
+  }
+}
+
+void Tracer::OnLockAcquired(Time when, NodeId node, ThreadId thread, int lock, Duration wait) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr || wait <= 0) {
+    return;
+  }
+  AddSpan(*ctx, SpanKind::kLockWait, when - wait, when, node, thread, "", lock);
+}
+
+void Tracer::OnRpcRequest(Time depart, NodeId src, NodeId dst, int64_t bytes, uint64_t id,
+                          ThreadId requester) {
+  ThreadCtx* ctx = Ctx(requester);
+  if (ctx == nullptr) {
+    return;
+  }
+  const uint64_t span = AddSpan(*ctx, SpanKind::kRpc, depart, 0, src, requester, "", dst);
+  if (span != 0) {
+    open_rpcs_[id] = {ctx->trace_id, span};
+  }
+  if (ctx->is_root) {
+    ctx->pending = Cause::kRpc;
+  }
+}
+
+void Tracer::OnRpcResponse(Time when, Time reply_arrive, NodeId src, NodeId dst, int64_t bytes,
+                           uint64_t id) {
+  auto it = open_rpcs_.find(id);
+  if (it == open_rpcs_.end()) {
+    return;
+  }
+  auto trace = traces_.find(it->second.first);
+  if (trace != traces_.end()) {
+    Span* s = FindSpan(trace->second, it->second.second);
+    if (s != nullptr) {
+      s->end = reply_arrive;
+    }
+  }
+  open_rpcs_.erase(it);
+}
+
+void Tracer::OnRpcRetry(Time when, NodeId src, NodeId dst, uint64_t id, int attempt,
+                        ThreadId requester) {
+  auto it = open_rpcs_.find(id);
+  if (it != open_rpcs_.end()) {
+    auto trace = traces_.find(it->second.first);
+    if (trace != traces_.end()) {
+      Span* s = FindSpan(trace->second, it->second.second);
+      if (s != nullptr) {
+        s->retries = attempt;
+      }
+    }
+  }
+  // The retry fires in fiber context between the timeout wake and the next
+  // block, so it marks the *coming* wait: attempt-0 waits count as "rpc",
+  // every retransmission wait as "retry".
+  ThreadCtx* ctx = Ctx(requester);
+  if (ctx != nullptr && ctx->is_root && ctx->state != RunState::kBlocked) {
+    ctx->pending = Cause::kRetry;
+  }
+}
+
+void Tracer::OnRpcTimeout(Time when, NodeId src, NodeId dst, uint64_t id, int attempts,
+                          ThreadId requester) {
+  auto it = open_rpcs_.find(id);
+  if (it == open_rpcs_.end()) {
+    return;
+  }
+  auto trace = traces_.find(it->second.first);
+  if (trace != traces_.end()) {
+    Span* s = FindSpan(trace->second, it->second.second);
+    if (s != nullptr) {
+      s->end = when;
+      s->retries = attempts - 1;
+      s->failed = true;
+    }
+  }
+  open_rpcs_.erase(it);
+}
+
+void Tracer::OnFailureBackoff(Time when, NodeId node, ThreadId thread, Duration backoff) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr) {
+    return;
+  }
+  AddSpan(*ctx, SpanKind::kBackoff, when, when + backoff, node, thread, "", 0);
+  if (ctx->is_root) {
+    ctx->pending = Cause::kRetry;
+  }
+}
+
+void Tracer::OnRecoveryStart(Time when, NodeId node, ThreadId thread, const void* obj) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr) {
+    return;
+  }
+  if (ctx->recovery_depth++ == 0) {
+    ctx->open_recovery_span = AddSpan(*ctx, SpanKind::kRecovery, when, 0, node, thread, "", 0);
+  }
+}
+
+void Tracer::OnRecoveryEnd(Time when, NodeId node, ThreadId thread, const void* obj, bool ok) {
+  ThreadCtx* ctx = Ctx(thread);
+  if (ctx == nullptr || ctx->recovery_depth == 0) {
+    return;
+  }
+  if (--ctx->recovery_depth == 0 && ctx->open_recovery_span != 0) {
+    Trace* t = TraceOf(*ctx);
+    if (t != nullptr) {
+      Span* s = FindSpan(*t, ctx->open_recovery_span);
+      if (s != nullptr) {
+        s->end = when;
+        s->failed = !ok;
+      }
+    }
+    ctx->open_recovery_span = 0;
+  }
+}
+
+// --- Dump ----------------------------------------------------------------------
+
+void Tracer::WriteJson(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"rtrace\": \"";
+  EscapeJson(out, config_.name);
+  out << "\",\n";
+  out << "  \"schema\": 1,\n";
+  out << "  \"sample_every\": " << config_.sample_every << ",\n";
+  out << "  \"requests_seen\": " << requests_seen_ << ",\n";
+  out << "  \"requests_sampled\": " << requests_sampled_ << ",\n";
+  out << "  \"contexts_propagated\": " << contexts_propagated_ << ",\n";
+  out << "  \"contexts_invalid\": " << contexts_invalid_ << ",\n";
+  out << "  \"traces_evicted\": " << traces_evicted_ << ",\n";
+  out << "  \"traces\": [";
+  bool first_trace = true;
+  for (const auto& [id, t] : traces_) {
+    if (!t.done) {
+      continue;
+    }
+    out << (first_trace ? "\n" : ",\n");
+    first_trace = false;
+    out << "    {\"trace_id\": " << t.trace_id << ", \"name\": \"";
+    EscapeJson(out, t.name);
+    out << "\", \"root_thread\": " << t.root_thread << ", \"start_ns\": " << t.start
+        << ", \"end_ns\": " << t.end << ", \"latency_ns\": " << t.latency()
+        << ", \"hops\": " << t.hops << ",\n     \"attribution\": {";
+    bool first_cat = true;
+    for (const auto& [cat, ns] : t.attribution) {
+      out << (first_cat ? "" : ", ") << "\"" << cat << "\": " << ns;
+      first_cat = false;
+    }
+    out << "},\n     \"spans\": [";
+    bool first_span = true;
+    for (const Span& s : t.spans) {
+      out << (first_span ? "\n" : ",\n");
+      first_span = false;
+      out << "       {\"id\": " << s.id << ", \"parent\": " << s.parent << ", \"kind\": \""
+          << SpanKindName(s.kind) << "\", \"start_ns\": " << s.start << ", \"end_ns\": " << s.end
+          << ", \"node\": " << s.node << ", \"thread\": " << s.thread << ", \"label\": \"";
+      EscapeJson(out, s.label);
+      out << "\", \"aux\": " << s.aux << ", \"retries\": " << s.retries
+          << ", \"failed\": " << (s.failed ? "true" : "false") << "}";
+    }
+    out << (first_span ? "]}" : "\n     ]}");
+  }
+  out << (first_trace ? "" : "\n  ") << "]\n}\n";
+}
+
+}  // namespace rtrace

@@ -247,6 +247,17 @@ void Kernel::Block() {
   ReleaseProcessorAndMaybeRequeue(current_, /*requeue=*/false);
 }
 
+void Kernel::SleepUntil(Time t) {
+  AMBER_DCHECK(current_ != nullptr) << "SleepUntil outside fiber context";
+  Sync();  // the timer must be armed at an ordered point
+  Fiber* f = current_;
+  if (t <= f->vtime) {
+    return;
+  }
+  Post(t, [this, f] { Wake(f, queue_.now()); });
+  Block();
+}
+
 void Kernel::TravelTo(NodeId node, Time arrive) {
   AMBER_DCHECK(current_ != nullptr);
   AMBER_CHECK(node >= 0 && node < nodes());

@@ -126,6 +126,12 @@ class Kernel {
   // run queue at `arrive`. Used for Amber thread migration.
   void TravelTo(NodeId node, Time arrive);
 
+  // Parks the running fiber until virtual time `t`, releasing its processor
+  // (a timer sleep, not a busy wait). Returns immediately when t has already
+  // passed. The open-loop benchmark drivers pace their deterministic arrival
+  // processes with this.
+  void SleepUntil(Time t);
+
   // Suspends the running fiber WITHOUT releasing its processor — the
   // processor spins (stays busy) until SpinResume. Models non-relinquishing
   // locks (§2.2): latency-optimal, throughput-hostile.

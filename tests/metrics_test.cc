@@ -290,5 +290,80 @@ TEST(RegistryTest, NoMetricsMeansNoChangeInVirtualTime) {
   EXPECT_EQ(run(nullptr), run(&reg));
 }
 
+// --- Exemplars -----------------------------------------------------------------
+
+TEST(HistogramTest, ExemplarsTrackBucketsAndResolveNearestValue) {
+  Histogram h;
+  h.Record(100.0);  // plain Record: no exemplar retained
+  EXPECT_TRUE(h.exemplars().empty());
+  h.Record(100.0, 0);  // trace id 0 = unsampled: still no exemplar
+  EXPECT_TRUE(h.exemplars().empty());
+
+  h.Record(90.0, 7);
+  h.Record(5000.0, 9);
+  h.Record(100.0, 8);  // same bucket as 90.0: most recent observation wins
+  ASSERT_EQ(h.exemplars().size(), 2u);
+  EXPECT_EQ(h.ExemplarNear(95.0).trace_id, 8u);
+  EXPECT_EQ(h.ExemplarNear(4000.0).trace_id, 9u);
+  EXPECT_DOUBLE_EQ(h.ExemplarNear(4000.0).value, 5000.0);
+  EXPECT_EQ(Histogram().ExemplarNear(1.0).trace_id, 0u);  // empty: zero exemplar
+}
+
+TEST(HistogramTest, ExemplarsRenderInJsonOnlyWhenPresent) {
+  Registry reg;
+  reg.GetHistogram("lat").Record(100.0);
+  std::ostringstream without;
+  reg.WriteJson(without);
+  EXPECT_EQ(without.str().find("exemplars"), std::string::npos);
+
+  reg.GetHistogram("lat").Record(5000.0, 9);
+  std::ostringstream with;
+  reg.WriteJson(with);
+  EXPECT_NE(with.str().find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(with.str().find("\"trace_id\": 9"), std::string::npos);
+}
+
+// --- Label cardinality guard ---------------------------------------------------
+
+TEST(RegistryTest, LabelCapDropsNewLabelsButKeepsExistingOnes) {
+  Registry reg;
+  reg.SetLabelCap(4);
+  for (int i = 0; i < 10; ++i) {
+    reg.GetCounter("fam", "l" + std::to_string(i)).Add(1);
+  }
+  EXPECT_EQ(reg.dropped_labels(), 6);
+  ASSERT_NE(reg.FindCounters("fam"), nullptr);
+  EXPECT_EQ(reg.FindCounters("fam")->size(), 4u);
+  EXPECT_EQ(reg.CounterTotal("metrics.dropped_labels"), 6);
+
+  // Labels admitted before the family filled keep resolving (and don't
+  // count as drops); only brand-new labels fall into the sink.
+  reg.GetCounter("fam", "l0").Add(1);
+  EXPECT_EQ(reg.dropped_labels(), 6);
+  EXPECT_EQ(reg.FindCounters("fam")->at("l0").value(), 2);
+
+  // The sink absorbs writes but is never rendered.
+  std::ostringstream out;
+  reg.WriteJson(out);
+  EXPECT_EQ(out.str().find("l7"), std::string::npos);
+  EXPECT_NE(out.str().find("\"metrics.dropped_labels\""), std::string::npos);
+}
+
+TEST(RegistryTest, LabelCapAppliesPerFamilyAndPerKind) {
+  Registry reg;
+  reg.SetLabelCap(2);
+  reg.GetGauge("g", "a").Set(1);
+  reg.GetGauge("g", "b").Set(2);
+  reg.GetGauge("g", "c").Set(3);  // dropped
+  reg.GetHistogram("h", "a").Record(1);
+  reg.GetHistogram("h", "b").Record(2);
+  reg.GetHistogram("h", "c").Record(3);  // dropped
+  reg.GetGauge("g2", "a").Set(1);        // fresh family: admitted
+  EXPECT_EQ(reg.dropped_labels(), 2);
+  EXPECT_EQ(reg.FindGauges("g")->size(), 2u);
+  EXPECT_EQ(reg.FindHistograms("h")->size(), 2u);
+  EXPECT_EQ(reg.FindGauges("g2")->size(), 1u);
+}
+
 }  // namespace
 }  // namespace metrics

@@ -19,14 +19,17 @@ machines, or --metric to widen one gauge's band.
 
 Improvements beyond a band never fail the gate, but they are printed as
 "ratchet candidate" notes: the committed baseline is stale, and until it is
-refreshed a later change could silently give the whole win back. Refresh the
-named baseline file to lock the improvement in.
+refreshed a later change could silently give the whole win back. Pass
+--refresh to rewrite exactly the stale baseline files in place from the
+current results (nothing else is touched); without it, the gate prints the
+exact command to run.
 
 Usage:
     tools/bench_compare.py --baseline bench/baselines [--current .]
                            [--tolerance 2.0] [--tolerance chaos=5.0]
                            [--wall-tolerance 15.0] [--no-wall-gate]
                            [--metric scale.wall.events_per_sec=higher:75]
+                           [--refresh]
                            fig2 table1 chaos scale hotspot
 
 Each positional argument names a benchmark: `<current>/BENCH_<name>.json` is
@@ -44,6 +47,7 @@ missing/unreadable file.
 import argparse
 import json
 import os
+import shutil
 import sys
 
 
@@ -121,6 +125,11 @@ def main():
         default=[],
         help="per-gauge override: NAME=DIR:PCT with DIR in {higher,lower} (repeatable)",
     )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="rewrite stale baseline files in place from the current results (ratchet candidates only)",
+    )
     parser.add_argument("benches", nargs="+", help="benchmark names (fig2, table1, chaos, scale, ...)")
     args = parser.parse_args()
 
@@ -136,6 +145,7 @@ def main():
 
     failures = []
     rows = []
+    stale = {}  # bench name -> (baseline path, current path), for --refresh
     for name in args.benches:
         tol = per_bench_tol.get(name, default_tol)
         base_path = os.path.join(args.baseline, f"BENCH_{name}.json")
@@ -169,6 +179,7 @@ def main():
             # a follow-up change could give the whole win back without
             # tripping the gate. Surface it so the author ratchets.
             verdict = "ok (ratchet)"
+            stale[name] = (base_path, cur_path)
             print(
                 f"  ratchet candidate: {name} virtual time improved "
                 f"{base_ns / 1e6:.3f} ms -> {cur_ns / 1e6:.3f} ms ({delta_pct:.2f}%); "
@@ -209,6 +220,7 @@ def main():
             mark = "ok"
             if better:
                 mark = "ok (ratchet)"
+                stale.setdefault(name, (base_path, cur_path))
                 print(
                     f"  ratchet candidate: {name} wall gauge {key} improved "
                     f"{b:g} -> {c:g} ({rel_pct:+.2f}%, {direction}-is-better); "
@@ -227,6 +239,26 @@ def main():
     widths = [max(len(str(r[i])) for r in rows + [header]) for i in range(len(header))]
     for row in [header] + rows:
         print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)).rstrip())
+
+    if stale:
+        if args.refresh:
+            print()
+            for name in sorted(stale):
+                base_path, cur_path = stale[name]
+                shutil.copyfile(cur_path, base_path)
+                print(f"refreshed {base_path} from {cur_path}")
+        else:
+            # Print the exact command so a CI log makes the ratchet a
+            # copy-paste away instead of an archaeology exercise.
+            hint = [f"tools/bench_compare.py --baseline {args.baseline}"]
+            if args.current != ".":
+                hint.append(f"--current {args.current}")
+            hint.append("--refresh")
+            hint.extend(sorted(stale))
+            print(
+                f"\n{len(stale)} stale baseline(s); to ratchet the improvement(s) "
+                f"into the committed files, run:\n  {' '.join(hint)}"
+            )
 
     if failures:
         print()
