@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "src/fdr/fdr.h"
 #include "src/metrics/metrics.h"
 #include "src/prof/profiler.h"
+#include "src/tseries/tseries.h"
 
 namespace {
 
@@ -222,6 +224,110 @@ fault::FaultPlan RecoveryPlan(amber::Time clean_end) {
   return plan;
 }
 
+// --- Recovery timeline: measured MTTR ----------------------------------------
+//
+// A fixed-cadence open-loop pinger (one request every 2 ms from node 0,
+// round-robin over one Echo service per node) turns availability into a
+// per-window completions signal that a tseries::Collector rolls up on a
+// 10 ms cadence. The victim node crashes at 300 ms and restarts at 500 ms;
+// requests routed to it freeze (kRetry) and complete in a burst after the
+// restart. MeasureMttr reads the timeline back: the signal must leave its
+// pre-crash band (~5 completions/window) and re-enter it for good — the
+// virtual time from crash to that stable re-entry is the measured MTTR,
+// gated against the configured outage plus a settling-time cap. The scenario
+// uses its own registry and emits only TS_chaos_timeline.json, so
+// BENCH_chaos.json stays byte-identical to a tree without it.
+
+constexpr int kTimelineReqs = 500;
+constexpr amber::Duration kTimelineCadence = amber::Millis(2);
+constexpr amber::Time kTimelineCrashAt = amber::Millis(300);
+constexpr amber::Time kTimelineRestartAt = amber::Millis(500);
+constexpr amber::Duration kMttrSettleCap = amber::Millis(100);  // MTTR <= outage + this
+
+metrics::Registry* g_tl_registry = nullptr;
+class EchoSvc;
+std::vector<amber::Ref<EchoSvc>> g_echo;
+
+class EchoSvc final : public amber::Object {
+ public:
+  void Ping(amber::Time arrival) {
+    amber::Work(amber::Micros(80));
+    g_tl_registry->GetHistogram("timeline.latency")
+        .Record(static_cast<double>(amber::Now() - arrival));
+    g_tl_registry->GetCounter("timeline.completed", amber::Here()).Add(1);
+  }
+};
+
+class Pinger final : public amber::Object {
+ public:
+  void Drive() {
+    std::deque<amber::ThreadRef<void>> inflight;
+    amber::Time next = amber::Now();
+    for (int i = 0; i < kTimelineReqs; ++i) {
+      next += kTimelineCadence;
+      amber::SleepUntil(next);
+      while (!inflight.empty() && inflight.front().object()->finished()) {
+        inflight.front().TryJoin();
+        inflight.pop_front();
+      }
+      inflight.push_back(amber::StartThread(g_echo[i % kNodes], &EchoSvc::Ping, next));
+    }
+    while (!inflight.empty()) {
+      if (inflight.front().TryJoin()) {
+        inflight.pop_front();
+      } else {
+        amber::Work(amber::Millis(1));  // frozen on the dead node; wait out the restart
+      }
+    }
+  }
+};
+
+struct TimelineResult {
+  amber::Time end_time = 0;
+  int64_t crashes = 0;
+  int64_t completed = 0;
+};
+
+TimelineResult RunTimeline(metrics::Registry* registry, tseries::Collector* collector) {
+  fault::FaultPlan plan;
+  plan.seed = kSeed;
+  fault::NodeEvent ev;
+  ev.node = kNodes - 1;
+  ev.crash_at = kTimelineCrashAt;
+  ev.restart_at = kTimelineRestartAt;
+  plan.node_events.push_back(ev);
+  fault::Injector injector(plan);
+
+  amber::Runtime::Config config;
+  config.nodes = kNodes;
+  config.procs_per_node = kProcs;
+  amber::Runtime rt(config);
+  rt.SetMetrics(registry);
+  rt.SetFaultInjector(&injector);
+  rt.SetFailureHandler([](const amber::FailureEvent&) { return amber::FailureAction::kRetry; });
+  collector->AttachTo(rt);
+  g_tl_registry = registry;
+  TimelineResult out;
+  rt.Run([&out] {
+    g_echo.clear();
+    for (int n = 0; n < kNodes; ++n) {
+      g_echo.push_back(amber::NewOn<EchoSvc>(n));
+    }
+    auto pinger = amber::NewOn<Pinger>(0);
+    auto driver = amber::StartThread(pinger, &Pinger::Drive);
+    while (!driver.TryJoin()) {
+      amber::Work(amber::Millis(1));
+    }
+    out.end_time = amber::Now();
+  });
+  g_echo.clear();
+  g_tl_registry = nullptr;
+  collector->Finish(out.end_time);
+  out.crashes = injector.crashes();
+  out.completed = registry->CounterTotal("timeline.completed");
+  return out;
+}
+
 sor::Result RunOnce(const sor::Params& params, const fault::FaultPlan& plan,
                     metrics::Registry* registry, fault::Injector* injector,
                     prof::Profiler* profiler = nullptr, fdr::Recorder* recorder = nullptr) {
@@ -310,6 +416,36 @@ int main() {
   registry.GetGauge("chaos.recovery_hash_matches")
       .Set(rec.completed && rec.hash == rec_clean.hash ? 1 : 0);
 
+  // Recovery timeline: own registry, own output file — BENCH_chaos.json
+  // below is written from `registry` and must stay byte-identical.
+  std::printf("\nTimeline: %d pings at %.0f ms cadence, node %d down %.0f-%.0f ms.\n",
+              kTimelineReqs, amber::ToMillis(kTimelineCadence), kNodes - 1,
+              amber::ToMillis(kTimelineCrashAt), amber::ToMillis(kTimelineRestartAt));
+  metrics::Registry tl_registry;
+  tseries::Collector::Config tl_cfg;
+  tl_cfg.name = "chaos_timeline";
+  tl_cfg.flush_path = "TS_chaos_timeline.json";
+  tseries::Collector tl_collector(tl_cfg);
+  tl_collector.SetRegistry(&tl_registry);
+  tl_collector.WatchCounter("timeline.completed");
+  tl_collector.WatchHistogram("timeline.latency");
+  const TimelineResult tl = RunTimeline(&tl_registry, &tl_collector);
+
+  const tseries::MttrResult mttr =
+      tseries::MeasureMttr(tl_collector.SeriesValues("counter:timeline.completed"),
+                           tl_collector.FirstFrameStart(), tl_collector.window_ns(),
+                           kTimelineCrashAt);
+  const amber::Duration outage = kTimelineRestartAt - kTimelineCrashAt;
+  if (mttr.measured) {
+    std::printf("measured MTTR: %.1f ms (outage %.0f ms, band [%.1f, %.1f] completions/window, "
+                "recovered at %.1f ms)\n",
+                amber::ToMillis(mttr.mttr), amber::ToMillis(outage), mttr.band_lo, mttr.band_hi,
+                amber::ToMillis(mttr.recovered_at));
+  } else {
+    std::printf("measured MTTR: NOT MEASURED (dipped=%d)\n", mttr.dipped ? 1 : 0);
+  }
+  std::printf("wrote TS_chaos_timeline.json — render with amber-plot\n");
+
   benchutil::BenchJson json("chaos");
   json.Config("nodes", int64_t{kNodes});
   json.Config("procs_per_node", int64_t{kProcs});
@@ -373,6 +509,24 @@ int main() {
   if (rec_injector.crashes() == 0 || !rec.completed || rec.hash != rec_clean.hash) {
     std::printf("recovery scenario FAILED: no crash injected or wrong answer\n");
     dump_divergence(rec_recorder, "recovery strip hash diverged from clean run");
+    return 1;
+  }
+  // The timeline gates make MTTR a number a regression can move, not a
+  // boolean: the signal must actually dip, recovery must be measurable, and
+  // it must land between the configured outage and outage + settling cap.
+  if (tl.crashes == 0 || tl.completed != kTimelineReqs) {
+    std::printf("timeline FAILED: no crash injected or %lld of %d pings completed\n",
+                static_cast<long long>(tl.completed), kTimelineReqs);
+    return 1;
+  }
+  if (!mttr.dipped || !mttr.measured) {
+    std::printf("timeline FAILED: completions signal never dipped or never re-entered band\n");
+    return 1;
+  }
+  if (mttr.mttr < outage || mttr.mttr > outage + kMttrSettleCap) {
+    std::printf("timeline FAILED: MTTR %.1f ms outside [%.0f, %.0f] ms\n",
+                amber::ToMillis(mttr.mttr), amber::ToMillis(outage),
+                amber::ToMillis(outage + kMttrSettleCap));
     return 1;
   }
   return 0;

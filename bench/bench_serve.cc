@@ -33,6 +33,7 @@
 #include "src/fault/fault.h"
 #include "src/metrics/metrics.h"
 #include "src/rtrace/rtrace.h"
+#include "src/tseries/tseries.h"
 
 namespace {
 
@@ -53,6 +54,11 @@ constexpr amber::Duration kMeanInterarrival = amber::Micros(2500);
 // Set per scenario before rt.Run: the request threads record into these.
 metrics::Registry* g_registry = nullptr;
 rtrace::Tracer* g_tracer = nullptr;
+
+// Offered load for the current run. The default matches kMeanInterarrival,
+// so the classic two-scenario mode is byte-identical to before; --sweep
+// re-runs the workload across a ladder of these.
+amber::Duration g_interarrival = kMeanInterarrival;
 
 class Shard;
 std::vector<amber::Ref<Shard>> g_shards;
@@ -96,11 +102,13 @@ class Shard final : public amber::Object {
   }
 
   int64_t Checksum() const {
-    int64_t h = index_;
+    // Unsigned arithmetic: the hash is meant to wrap (same bits as the old
+    // signed formula, without the UB).
+    uint64_t h = static_cast<uint64_t>(index_);
     for (int64_t v : values_) {
-      h = h * 1099511628211ll + v;
+      h = h * 1099511628211ull + static_cast<uint64_t>(v);
     }
-    return h;
+    return static_cast<int64_t>(h);
   }
 
   int64_t AmberPayloadBytes() const override {
@@ -122,7 +130,7 @@ class Frontend final : public amber::Object {
     std::deque<amber::ThreadRef<void>> inflight;
     amber::Time next = amber::Now();
     for (int i = 0; i < kRequestsPerNode; ++i) {
-      next += ExpInterval(rng, kMeanInterarrival);
+      next += ExpInterval(rng, g_interarrival);
       amber::SleepUntil(next);
       // Reap whatever finished while we slept; the queue bound counts only
       // genuinely outstanding requests.
@@ -161,7 +169,8 @@ struct ServeResult {
 };
 
 ServeResult RunServe(const fault::FaultPlan& plan, metrics::Registry* registry,
-                     rtrace::Tracer* tracer, fault::Injector* injector) {
+                     rtrace::Tracer* tracer, fault::Injector* injector,
+                     tseries::Collector* collector = nullptr) {
   amber::Runtime::Config config;
   config.nodes = kNodes;
   config.procs_per_node = kProcs;
@@ -170,6 +179,9 @@ ServeResult RunServe(const fault::FaultPlan& plan, metrics::Registry* registry,
   rt.SetMetrics(registry);
   if (tracer != nullptr) {
     tracer->AttachTo(rt);
+  }
+  if (collector != nullptr) {
+    collector->AttachTo(rt);
   }
   if (injector != nullptr) {
     rt.SetFaultInjector(injector);
@@ -196,10 +208,11 @@ ServeResult RunServe(const fault::FaultPlan& plan, metrics::Registry* registry,
         amber::Work(amber::Millis(1));
       }
     }
-    out.checksum = 0;
+    uint64_t sum = 0;
     for (auto& shard : g_shards) {
-      out.checksum = out.checksum * 31 + shard.Call(&Shard::Checksum);
+      sum = sum * 31 + static_cast<uint64_t>(shard.Call(&Shard::Checksum));
     }
+    out.checksum = static_cast<int64_t>(sum);
     out.end_time = amber::Now();
   });
   g_shards.clear();
@@ -255,9 +268,181 @@ std::string WriteTraces(const rtrace::Tracer& tracer) {
   return path;
 }
 
+// --- Saturation sweep (--sweep) ---------------------------------------------
+//
+// The same open-loop workload, re-run across a ladder of offered rates from
+// well below to past the drivers' issue capacity (~1.05k req/s/node: thread
+// creation costs ~950 us charged to the issuing driver). Each rung gets a
+// fresh registry plus a tseries::Collector on a 10 ms window; the per-rate
+// latency summary is extracted from the *steady-state* windows (middle 60%
+// of the run), so ramp-up and drain don't pollute the curve. No tracer is
+// attached: Record(v, 0) is byte-equal to Record(v), and the sweep leaves
+// the classic mode's outputs untouched.
+
+// Mean interarrival ladder, per-node. ~167/s up to ~1250/s offered per node.
+constexpr amber::Duration kLadder[] = {amber::Micros(6000), amber::Micros(4000),
+                                       amber::Micros(2500), amber::Micros(1600),
+                                       amber::Micros(1100), amber::Micros(800)};
+constexpr int kLadderRungs = static_cast<int>(sizeof(kLadder) / sizeof(kLadder[0]));
+
+struct SweepPoint {
+  double offered_per_sec = 0.0;  // configured arrival rate, all nodes
+  double throughput_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double rejection_pct = 0.0;
+  int64_t steady_windows = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  amber::Time end_time = 0;
+};
+
+SweepPoint RunSweepRung(int rung) {
+  metrics::Registry registry;
+  tseries::Collector::Config cfg;
+  cfg.name = "serve_r" + std::to_string(rung);
+  cfg.flush_path = "TS_serve_r" + std::to_string(rung) + ".json";
+  tseries::Collector collector(cfg);
+  collector.SetRegistry(&registry);
+  collector.WatchCounter("serve.completed");
+  collector.WatchCounter("serve.offered");
+  collector.WatchCounter("serve.rejected");
+  collector.WatchHistogram("serve.latency");
+
+  g_interarrival = kLadder[rung];
+  const ServeResult r = RunServe(fault::FaultPlan{}, &registry, nullptr, nullptr, &collector);
+  g_interarrival = kMeanInterarrival;
+  collector.Finish(r.end_time);
+
+  SweepPoint p;
+  p.end_time = r.end_time;
+  p.offered_per_sec = 1e9 / static_cast<double>(kLadder[rung]) * kNodes;
+  p.completed = registry.CounterTotal("serve.completed");
+  p.rejected = registry.CounterTotal("serve.rejected");
+  p.rejection_pct =
+      100.0 * static_cast<double>(p.rejected) / (static_cast<double>(kNodes) * kRequestsPerNode);
+
+  const size_t frames = collector.frames().size();
+  const size_t w0 = frames / 5;            // skip ramp-up
+  const size_t w1 = frames - frames / 5;   // and drain
+  p.steady_windows = static_cast<int64_t>(w1 - w0);
+  const std::vector<double> completed = collector.SeriesValues("counter:serve.completed");
+  double steady_completed = 0.0;
+  for (size_t i = w0; i < w1; ++i) {
+    steady_completed += completed[i];
+  }
+  const double steady_ns =
+      static_cast<double>(p.steady_windows) * static_cast<double>(collector.window_ns());
+  p.throughput_per_sec = steady_ns > 0 ? steady_completed / steady_ns * 1e9 : 0.0;
+  const metrics::IntervalSummary steady = collector.AggregateHistogram(0, w0, w1);
+  p.p50_us = steady.p50 / 1000.0;
+  p.p99_us = steady.p99 / 1000.0;
+  p.p999_us = steady.p999 / 1000.0;
+  return p;
+}
+
+int RunSweep() {
+  std::printf("Serve sweep: %d-rung offered-load ladder, %d req/node per rung on %dNx%dP, "
+              "steady-state = middle 60%% of 10 ms windows\n\n",
+              kLadderRungs, kRequestsPerNode, kNodes, kProcs);
+
+  std::vector<SweepPoint> points;
+  amber::Time total_vt = 0;
+  for (int i = 0; i < kLadderRungs; ++i) {
+    points.push_back(RunSweepRung(i));
+    total_vt += points.back().end_time;
+  }
+
+  benchutil::Table table({"offered/s", "thruput/s", "p50 us", "p99 us", "p999 us", "reject %",
+                          "windows"});
+  for (const SweepPoint& p : points) {
+    table.AddRow({benchutil::Fmt("%.0f", p.offered_per_sec),
+                  benchutil::Fmt("%.0f", p.throughput_per_sec), benchutil::Fmt("%.1f", p.p50_us),
+                  benchutil::Fmt("%.1f", p.p99_us), benchutil::Fmt("%.1f", p.p999_us),
+                  benchutil::Fmt("%.1f", p.rejection_pct), benchutil::FmtI(p.steady_windows)});
+  }
+  table.Print();
+
+  // Knee: the rung with the largest p99 jump over its predecessor.
+  int knee = -1;
+  double knee_ratio = 0.0;
+  for (int i = 1; i < kLadderRungs; ++i) {
+    const double ratio = points[i - 1].p99_us > 0 ? points[i].p99_us / points[i - 1].p99_us : 0.0;
+    if (ratio > knee_ratio) {
+      knee_ratio = ratio;
+      knee = i;
+    }
+  }
+  if (knee >= 0) {
+    std::printf("\nknee: %.0f -> %.0f offered/s (p99 x%.2f)\n", points[knee - 1].offered_per_sec,
+                points[knee].offered_per_sec, knee_ratio);
+  }
+
+  metrics::Registry sweep_registry;
+  for (int i = 0; i < kLadderRungs; ++i) {
+    const std::string label = "r" + std::to_string(i);
+    sweep_registry.GetGauge("sweep.offered_per_sec", label).Set(points[i].offered_per_sec);
+    sweep_registry.GetGauge("sweep.throughput_per_sec", label).Set(points[i].throughput_per_sec);
+    sweep_registry.GetGauge("sweep.p50_us", label).Set(points[i].p50_us);
+    sweep_registry.GetGauge("sweep.p99_us", label).Set(points[i].p99_us);
+    sweep_registry.GetGauge("sweep.p999_us", label).Set(points[i].p999_us);
+    sweep_registry.GetGauge("sweep.rejection_pct", label).Set(points[i].rejection_pct);
+  }
+  if (knee >= 0) {
+    sweep_registry.GetGauge("sweep.knee_offered_per_sec").Set(points[knee].offered_per_sec);
+  }
+
+  benchutil::BenchJson json("serve_sweep");
+  json.Config("nodes", int64_t{kNodes});
+  json.Config("procs_per_node", int64_t{kProcs});
+  json.Config("shards", int64_t{kShards});
+  json.Config("requests_per_node", int64_t{kRequestsPerNode});
+  json.Config("admit_cap", static_cast<int64_t>(kAdmitCap));
+  json.Config("seed", int64_t{kSeed});
+  json.Config("rungs", int64_t{kLadderRungs});
+  for (int i = 0; i < kLadderRungs; ++i) {
+    json.Config("interarrival_r" + std::to_string(i) + "_ns", kLadder[i]);
+  }
+  const std::string bench_path = json.Write(total_vt, &sweep_registry);
+  std::printf("wrote %s and TS_serve_r0..r%d.json — render with amber-plot --sweep\n",
+              bench_path.c_str(), kLadderRungs - 1);
+
+  // --- Gates -----------------------------------------------------------------
+  bool ok = true;
+  for (int i = 0; i < kLadderRungs; ++i) {
+    const SweepPoint& p = points[i];
+    if (!(p.p50_us > 0 && p.p99_us >= p.p50_us && p.p999_us >= p.p99_us)) {
+      std::printf("sweep FAILED: rung %d percentiles out of order\n", i);
+      ok = false;
+    }
+    if (p.completed + p.rejected != int64_t{kNodes} * kRequestsPerNode) {
+      std::printf("sweep FAILED: rung %d served + rejected != offered\n", i);
+      ok = false;
+    }
+  }
+  for (int i = 1; i < kLadderRungs; ++i) {
+    // Monotone non-decreasing p99 along the ladder (2% slack: steady-state
+    // percentiles are bucket-interpolated estimates).
+    if (points[i].p99_us < points[i - 1].p99_us * 0.98) {
+      std::printf("sweep FAILED: p99 not monotone (rung %d: %.1f us < rung %d: %.1f us)\n", i,
+                  points[i].p99_us, i - 1, points[i - 1].p99_us);
+      ok = false;
+    }
+  }
+  if (knee < 0 || knee_ratio < 1.5) {
+    std::printf("sweep FAILED: no visible knee (max p99 jump x%.2f)\n", knee_ratio);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--sweep") {
+    return RunSweep();
+  }
   std::printf("Serve: %d shards x %d keys on %dNx%dP, %d req/node open-loop "
               "(mean interarrival %lld us), admission cap %d, tracing 1 in %llu\n\n",
               kShards, kKeysPerShard, kNodes, kProcs, kRequestsPerNode,

@@ -51,6 +51,9 @@ struct Frame {
   int64_t heap_bytes = -1;
   int64_t sample_wall_ns = 0;
   int64_t sample_events = 0;
+  // The whole sample ring as (wall_ns, cumulative events) points — the ev/s
+  // sparkline is the successive deltas of the last few of these.
+  std::vector<std::pair<int64_t, int64_t>> sample_points;
 };
 
 bool LoadFrame(const std::string& path, Frame* out, std::string* error) {
@@ -90,6 +93,9 @@ bool LoadFrame(const std::string& path, Frame* out, std::string* error) {
     }
   }
   if (const fdrtool::Json* samples = doc.Get("samples")) {
+    for (const fdrtool::Json& s : samples->arr) {
+      f.sample_points.emplace_back(s.Int("wall_ns"), s.Int("events"));
+    }
     if (!samples->arr.empty()) {
       const fdrtool::Json& last = samples->arr.back();
       f.virtual_time_ns = last.Int("virtual_time_ns");
@@ -101,6 +107,35 @@ bool LoadFrame(const std::string& path, Frame* out, std::string* error) {
   }
   *out = f;
   return true;
+}
+
+// Trend-at-a-glance: ev/s over the last `n` sample-ring intervals, each
+// interval one block scaled against the window's own maximum.
+std::string Sparkline(const std::vector<std::pair<int64_t, int64_t>>& points, size_t n) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  std::vector<double> rates;
+  const size_t first = points.size() > n ? points.size() - n - 1 : 0;
+  for (size_t i = first + 1; i < points.size(); ++i) {
+    const int64_t dw = points[i].first - points[i - 1].first;
+    const int64_t de = points[i].second - points[i - 1].second;
+    if (dw > 0 && de >= 0) {
+      rates.push_back(static_cast<double>(de) * 1e9 / static_cast<double>(dw));
+    }
+  }
+  if (rates.size() < 2) {
+    return "";
+  }
+  double vmax = 0;
+  for (double r : rates) {
+    vmax = std::max(vmax, r);
+  }
+  std::string out;
+  for (double r : rates) {
+    const int level =
+        vmax > 0 ? std::min(7, static_cast<int>(r / vmax * 8.0)) : 0;
+    out += kBlocks[level];
+  }
+  return out;
 }
 
 std::string Eng(double v) {
@@ -127,9 +162,10 @@ void Render(const Frame& f, const Frame* prev) {
     rate_kind = "live";
   }
   std::printf("amber-top — %s\n", f.name.c_str());
-  std::printf("events %" PRId64 "  (%s ev/s %s)  vtime %.3f s  queue %" PRId64, f.events,
-              Eng(live_eps).c_str(), rate_kind, static_cast<double>(f.virtual_time_ns) / 1e9,
-              f.queue_depth);
+  const std::string spark = Sparkline(f.sample_points, 16);
+  std::printf("events %" PRId64 "  (%s ev/s %s%s%s)  vtime %.3f s  queue %" PRId64, f.events,
+              Eng(live_eps).c_str(), rate_kind, spark.empty() ? "" : " ", spark.c_str(),
+              static_cast<double>(f.virtual_time_ns) / 1e9, f.queue_depth);
   if (f.heap_bytes >= 0) {
     std::printf("  heap %.1f MB", static_cast<double>(f.heap_bytes) / 1e6);
   }

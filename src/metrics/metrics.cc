@@ -39,6 +39,56 @@ std::string Quote(const std::string& s) {
 
 }  // namespace
 
+IntervalSummary Histogram::Diff(const HistogramSnapshot& prev, const HistogramSnapshot& cur) {
+  std::map<int, int64_t> deltas;
+  for (const auto& [bucket, count] : cur.buckets) {
+    auto it = prev.buckets.find(bucket);
+    const int64_t d = count - (it != prev.buckets.end() ? it->second : 0);
+    if (d > 0) {
+      deltas[bucket] = d;
+    }
+  }
+  return SummaryFromBuckets(deltas, cur.sum - prev.sum);
+}
+
+namespace {
+
+// Percentile estimate over bucketed counts: find the bucket holding the
+// target rank, interpolate linearly inside its value range. Bucket 0 covers
+// [0, 2), bucket b >= 1 covers [2^b, 2^(b+1)).
+double BucketPercentile(const std::map<int, int64_t>& buckets, int64_t total, double p) {
+  const double rank = (p / 100.0) * static_cast<double>(total - 1);
+  int64_t below = 0;
+  for (const auto& [bucket, count] : buckets) {
+    if (static_cast<double>(below + count) > rank) {
+      const double lo = bucket == 0 ? 0.0 : static_cast<double>(int64_t{1} << bucket);
+      const double hi = static_cast<double>(int64_t{1} << (bucket + 1));
+      const double frac = (rank - static_cast<double>(below)) / static_cast<double>(count);
+      return lo + frac * (hi - lo);
+    }
+    below += count;
+  }
+  return buckets.empty() ? 0.0 : static_cast<double>(int64_t{1} << (buckets.rbegin()->first + 1));
+}
+
+}  // namespace
+
+IntervalSummary Histogram::SummaryFromBuckets(const std::map<int, int64_t>& bucket_deltas,
+                                              double sum) {
+  IntervalSummary out;
+  for (const auto& [bucket, count] : bucket_deltas) {
+    out.count += count;
+  }
+  out.sum = sum;
+  if (out.count <= 0) {
+    return IntervalSummary{};
+  }
+  out.p50 = BucketPercentile(bucket_deltas, out.count, 50.0);
+  out.p99 = BucketPercentile(bucket_deltas, out.count, 99.0);
+  out.p999 = BucketPercentile(bucket_deltas, out.count, 99.9);
+  return out;
+}
+
 Exemplar Histogram::ExemplarNear(double v) const {
   Exemplar best;
   double best_dist = 0.0;

@@ -58,6 +58,31 @@ struct PercentileSummary {
   double p999 = 0.0;
 };
 
+// Cumulative state of a histogram at one instant: total count, total sum,
+// and the per-power-of-two-bucket counts Record maintains. Snapshots are
+// cheap value copies; diffing two of them recovers the *interval* between
+// the snapshot points without resetting anything — the histogram keeps
+// accumulating and its cumulative WriteJson rendering stays byte-identical.
+// This is what the windowed-rollup collector (src/tseries) is built on.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  std::map<int, int64_t> buckets;  // BucketOf(v) -> cumulative observations
+};
+
+// Summary of the observations that landed between two snapshots. The
+// percentiles are estimated from the bucket-count deltas by linear
+// interpolation inside the matched power-of-two bucket — coarser than the
+// sample-exact cumulative Percentile(), but computable from two O(buckets)
+// snapshots, and ordered by construction (p50 <= p99 <= p999).
+struct IntervalSummary {
+  int64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
 // OpenMetrics-style exemplar: one concrete observation retained per
 // power-of-two bucket, carrying the trace id of the request that produced
 // it. The p999 bucket of a latency histogram thereby names a real trace a
@@ -75,6 +100,7 @@ class Histogram {
   void Record(double v) {
     samples_.Add(v);
     acc_.Add(v);
+    ++bucket_counts_[BucketOf(v)];
   }
 
   // Records v and, when trace_id is nonzero (a sampled trace), retains it as
@@ -113,6 +139,25 @@ class Histogram {
     return b;
   }
 
+  // Cumulative snapshot for interval diffing (see HistogramSnapshot). Pure
+  // read: takes nothing out of the histogram, so cumulative dumps taken
+  // before and after a snapshot render byte-identically.
+  HistogramSnapshot Snapshot() const {
+    return HistogramSnapshot{acc_.count(), acc_.sum(), bucket_counts_};
+  }
+
+  // The observations that landed between `prev` and `cur` (prev must be the
+  // earlier snapshot of the same histogram). Zero summary for an empty
+  // interval.
+  static IntervalSummary Diff(const HistogramSnapshot& prev, const HistogramSnapshot& cur);
+
+  // Interval summary straight from a bucket-delta map (count = sum of the
+  // deltas). This is Diff's core, exposed so a consumer that accumulates
+  // bucket deltas across several intervals (steady-state extraction in
+  // bench_serve --sweep) can summarize the union without re-snapshotting.
+  static IntervalSummary SummaryFromBuckets(const std::map<int, int64_t>& bucket_deltas,
+                                            double sum);
+
   // Exemplars by bucket index (empty unless Record(v, trace_id) ran).
   const std::map<int, Exemplar>& exemplars() const { return exemplars_; }
 
@@ -123,6 +168,7 @@ class Histogram {
  private:
   mutable amber::Samples samples_;  // Percentile() sorts lazily
   amber::Accumulator acc_;
+  std::map<int, int64_t> bucket_counts_;  // cumulative, for Snapshot()
   std::map<int, Exemplar> exemplars_;
 };
 

@@ -1,0 +1,267 @@
+// Virtual-time metric time series: windowed rollups over a metrics::Registry.
+//
+// Every other consumer of the registry reads it once, at the end of a run —
+// BENCH_*.json can say what p999 *was*, but not how p99 evolved as load
+// ramped, nor how long a cluster took to re-converge after a crash. The
+// Collector closes that gap: on a configurable virtual-time cadence
+// (default 10 ms) it snapshots the *watched* metric families and appends one
+// fixed-shape frame per window:
+//
+//   * counters   — the delta of the family total across the window;
+//   * gauges     — the instantaneous value at window close;
+//   * histograms — an interval summary (count, sum, p50/p99/p999) computed
+//                  by diffing cumulative bucket snapshots
+//                  (metrics::Histogram::Snapshot) — the histogram is never
+//                  reset, so cumulative dumps stay byte-identical.
+//
+// The collector is a pure RuntimeObserver tap: it advances its window clock
+// on the virtual timestamps the event bus already carries and never calls
+// back into the runtime, so an attached collector leaves virtual time, event
+// order and every other output file byte-identical — and an unattached one
+// costs nothing at all. Frames live in a bounded ring (oldest dropped, drops
+// counted); the dump is a deterministic TS_<name>.json, optionally flushed
+// atomically (tmp+rename, like telemetry) during the run for live readers.
+//
+// An annotation channel records the run's discrete punctuation — node
+// crashes/restarts, policy migrations, drains, recoveries — so a renderer
+// (amber-plot) can mark *why* a series moved where it moved.
+//
+// MeasureMttr turns a recovery timeline into a number: the virtual time from
+// a crash until the per-window signal re-enters its pre-crash band.
+
+#ifndef AMBER_SRC_TSERIES_TSERIES_H_
+#define AMBER_SRC_TSERIES_TSERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/metrics/metrics.h"
+
+namespace tseries {
+
+// One discrete event worth marking on a chart.
+struct Annotation {
+  amber::Time when = 0;
+  std::string kind;    // "crash", "restart", "migration", "drain", "recover", or user-defined
+  std::string detail;  // e.g. "node3"
+};
+
+// Result of MeasureMttr (all times virtual nanoseconds).
+struct MttrResult {
+  bool measured = false;     // a recovery point was found
+  bool dipped = false;       // the signal actually left the band after the crash
+  amber::Time recovered_at = 0;  // end of the first window of the stable re-entry
+  amber::Duration mttr = 0;      // recovered_at - crash time
+  double band_lo = 0.0;          // the pre-crash band the signal had to re-enter
+  double band_hi = 0.0;
+};
+
+struct MttrParams {
+  size_t warmup_windows = 2;   // leading windows excluded from the band
+  double band_expand = 0.5;    // band = [min,max] of pre-crash windows, widened
+                               // each side by this fraction of the range
+                               // (at least half a unit, for flat signals)
+  size_t hold_windows = 3;     // consecutive in-band windows required
+};
+
+// Measures time-to-recovery of a per-window signal. `values[i]` is the
+// signal for the window starting at start_ns + i * window_ns. The pre-crash
+// band is [min, max] over the steady pre-crash windows (warmup excluded),
+// expanded per MttrParams; recovery is the first run of hold_windows
+// consecutive in-band windows at or after the crash.
+MttrResult MeasureMttr(const std::vector<double>& values, amber::Time start_ns,
+                       amber::Duration window_ns, amber::Time crash_ns,
+                       const MttrParams& params = MttrParams{});
+
+class Collector : public amber::RuntimeObserver {
+ public:
+  struct Config {
+    std::string name = "amber";            // TS_<name>.json
+    amber::Duration window_ns = 10'000'000;  // 10 ms virtual-time windows
+    size_t max_frames = 4096;              // bounded ring; oldest frames dropped
+    size_t max_annotations = 512;
+    // Optional live export: rewrite `flush_path` atomically every
+    // `flush_every_windows` closed windows. Empty path or 0 disables.
+    std::string flush_path;
+    uint64_t flush_every_windows = 0;
+  };
+
+  explicit Collector(Config config);
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  // The registry the watched families live in. Must outlive the collector's
+  // use; AttachTo defaults it to the runtime's attached registry.
+  void SetRegistry(metrics::Registry* registry) { registry_ = registry; }
+
+  // --- Watch registration (call before the run; order = series order) -------
+
+  // Watches the family total (sum across labels) as a per-window delta.
+  void WatchCounter(const std::string& name);
+  // Watches one gauge instance (instantaneous value at window close).
+  void WatchGauge(const std::string& name, const std::string& label = "total");
+  // Watches one histogram instance (per-window interval summary).
+  void WatchHistogram(const std::string& name, const std::string& label = "total");
+
+  // Joins the runtime's observer fan-out and adopts its registry unless one
+  // was set explicitly. Call before Run().
+  void AttachTo(amber::Runtime& rt);
+
+  // Closes every window whose end is at or before `now`. Called from the
+  // observer hooks below; harnesses that drive a registry without a runtime
+  // (tests) may call it directly.
+  void Advance(amber::Time now);
+
+  // Closes the final (partial) window at the run's end time. Call after
+  // Run() returns; idempotent for a given end.
+  void Finish(amber::Time end);
+
+  // Appends a user annotation (also advances the window clock to `when`).
+  void Annotate(amber::Time when, const std::string& kind, const std::string& detail);
+
+  // --- Results ---------------------------------------------------------------
+
+  struct HistFrame {
+    metrics::IntervalSummary summary;
+    std::map<int, int64_t> bucket_deltas;  // for cross-window aggregation
+  };
+  // One closed window. Vectors parallel the Watch* registration order.
+  struct Frame {
+    int64_t index = 0;  // window number since virtual time 0
+    std::vector<int64_t> counter_deltas;
+    std::vector<double> gauge_values;
+    std::vector<HistFrame> hists;
+  };
+
+  const std::string& name() const { return config_.name; }
+  amber::Duration window_ns() const { return config_.window_ns; }
+  const std::deque<Frame>& frames() const { return frames_; }
+  int64_t windows_closed() const { return windows_closed_; }
+  int64_t dropped_frames() const { return dropped_frames_; }
+  const std::vector<Annotation>& annotations() const { return annotations_; }
+
+  // Per-window values of one watched series as a flat vector (frames in ring
+  // order). `series` is "counter:NAME", "gauge:NAME/LABEL" or
+  // "hist:NAME/LABEL.p99" (also .p50/.p999/.count/.sum). Empty if unknown.
+  std::vector<double> SeriesValues(const std::string& series) const;
+
+  // Virtual start time of the first retained frame.
+  amber::Time FirstFrameStart() const {
+    return frames_.empty() ? 0 : frames_.front().index * config_.window_ns;
+  }
+
+  // Aggregates a watched histogram across retained windows [from, to)
+  // (indices into frames()) by summing bucket deltas — the steady-state
+  // extraction primitive.
+  metrics::IntervalSummary AggregateHistogram(size_t hist_series, size_t from, size_t to) const;
+
+  // Deterministic TS_<name>.json document.
+  void WriteJson(std::ostream& out) const;
+  // Writes the JSON document to `path` atomically via a .tmp sibling and
+  // rename, so a concurrent reader never sees a torn file.
+  bool FlushTo(const std::string& path) const;
+
+  // --- RuntimeObserver: every timestamped event advances the window clock ---
+  // (High-frequency families only; annotation-worthy events also annotate.)
+
+  void OnThreadCreate(amber::Time when, amber::NodeId, amber::ThreadId, const std::string&,
+                      amber::ThreadId) override {
+    Advance(when);
+  }
+  void OnThreadDispatch(amber::Time when, amber::NodeId, amber::ThreadId,
+                        amber::Duration) override {
+    Advance(when);
+  }
+  void OnThreadBlock(amber::Time when, amber::NodeId, amber::ThreadId) override { Advance(when); }
+  void OnThreadUnblock(amber::Time when, amber::NodeId, amber::ThreadId, amber::ThreadId,
+                       amber::Time) override {
+    Advance(when);
+  }
+  void OnThreadExit(amber::Time when, amber::NodeId, amber::ThreadId) override { Advance(when); }
+  void OnInvokeEnter(amber::Time when, amber::NodeId, amber::ThreadId, const void*,
+                     const std::string&, bool, amber::NodeId, amber::Duration) override {
+    Advance(when);
+  }
+  void OnInvokeExit(amber::Time when, amber::NodeId, amber::ThreadId, amber::Duration, bool,
+                    amber::Duration) override {
+    Advance(when);
+  }
+  void OnMessage(amber::Time, amber::Time arrive, amber::NodeId, amber::NodeId,
+                 int64_t) override {
+    Advance(arrive);
+  }
+  void OnRpcRequest(amber::Time depart, amber::NodeId, amber::NodeId, int64_t, uint64_t,
+                    amber::ThreadId) override {
+    Advance(depart);
+  }
+  void OnRpcResponse(amber::Time when, amber::Time, amber::NodeId, amber::NodeId, int64_t,
+                     uint64_t) override {
+    Advance(when);
+  }
+  void OnNodeCrash(amber::Time when, amber::NodeId node) override {
+    AddAnnotation(when, "crash", "node" + std::to_string(node));
+  }
+  void OnNodeRestart(amber::Time when, amber::NodeId node) override {
+    AddAnnotation(when, "restart", "node" + std::to_string(node));
+  }
+  void OnPolicyMigration(amber::Time when, const void*, amber::NodeId from, amber::NodeId to,
+                         bool ok, amber::Duration) override {
+    if (ok) {
+      AddAnnotation(when, "migration",
+                    std::to_string(from) + "->" + std::to_string(to));
+    }
+  }
+  void OnNodeDrained(amber::Time when, amber::NodeId node, int objects_moved) override {
+    AddAnnotation(when, "drain",
+                  "node" + std::to_string(node) + " x" + std::to_string(objects_moved));
+  }
+  void OnObjectRecovered(amber::Time when, const void*, amber::NodeId from, amber::NodeId to,
+                         bool from_checkpoint) override {
+    AddAnnotation(when, "recover",
+                  std::to_string(from) + "->" + std::to_string(to) +
+                      (from_checkpoint ? " checkpoint" : " replica"));
+  }
+
+ private:
+  struct CounterWatch {
+    std::string name;
+  };
+  struct GaugeWatch {
+    std::string name;
+    std::string label;
+  };
+  struct HistWatch {
+    std::string name;
+    std::string label;
+    metrics::HistogramSnapshot last;  // snapshot at the previous window close
+  };
+
+  // Closes exactly one window ending at (closed+1) * window_ns.
+  void CloseWindow();
+  void AddAnnotation(amber::Time when, const std::string& kind, const std::string& detail);
+
+  Config config_;
+  metrics::Registry* registry_ = nullptr;
+  std::vector<CounterWatch> counters_;
+  std::vector<int64_t> counter_last_;  // family totals at the previous close
+  std::vector<GaugeWatch> gauges_;
+  std::vector<HistWatch> hists_;
+  std::deque<Frame> frames_;
+  std::vector<Annotation> annotations_;
+  int64_t windows_closed_ = 0;  // windows closed since t=0 (== next frame index)
+  int64_t dropped_frames_ = 0;
+  int64_t dropped_annotations_ = 0;
+  uint64_t until_flush_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace tseries
+
+#endif  // AMBER_SRC_TSERIES_TSERIES_H_

@@ -1,0 +1,323 @@
+// Tests for the windowed metric-rollup collector: histogram snapshot/diff
+// math, window close semantics (deltas, gauges, interval summaries, the
+// final partial window), bounded rings, series extraction, cross-window
+// histogram aggregation, MTTR measurement, JSON determinism, atomic flush,
+// and the zero-cost invariant — attaching a collector to a runtime changes
+// neither virtual time nor the registry's cumulative dump.
+
+#include "src/tseries/tseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/amber.h"
+#include "src/metrics/metrics.h"
+
+namespace tseries {
+namespace {
+
+constexpr amber::Duration kWin = amber::Millis(10);
+
+// --- Histogram snapshot / diff ----------------------------------------------
+
+TEST(HistogramSnapshotTest, DiffRecoversTheInterval) {
+  metrics::Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(100.0);  // bucket 6
+  }
+  const metrics::HistogramSnapshot before = h.Snapshot();
+  for (int i = 0; i < 50; ++i) {
+    h.Record(5000.0);  // bucket 12
+  }
+  const metrics::IntervalSummary s = metrics::Histogram::Diff(before, h.Snapshot());
+  EXPECT_EQ(s.count, 50);
+  EXPECT_DOUBLE_EQ(s.sum, 50 * 5000.0);
+  // All interval observations live in bucket 12 = [4096, 8192).
+  EXPECT_GE(s.p50, 4096.0);
+  EXPECT_LE(s.p999, 8192.0);
+  EXPECT_LE(s.p50, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+}
+
+TEST(HistogramSnapshotTest, SnapshotLeavesCumulativeDumpUntouched) {
+  metrics::Registry reg;
+  for (int i = 1; i <= 64; ++i) {
+    reg.GetHistogram("h").Record(i * 100.0);
+  }
+  std::ostringstream before;
+  reg.WriteJson(before);
+  const metrics::HistogramSnapshot snap = reg.GetHistogram("h").Snapshot();
+  (void)snap;
+  std::ostringstream after;
+  reg.WriteJson(after);
+  EXPECT_EQ(before.str(), after.str());
+}
+
+TEST(HistogramSnapshotTest, EmptyIntervalIsZero) {
+  metrics::Histogram h;
+  h.Record(42.0);
+  const metrics::HistogramSnapshot snap = h.Snapshot();
+  const metrics::IntervalSummary s = metrics::Histogram::Diff(snap, h.Snapshot());
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.p999, 0.0);
+  EXPECT_EQ(metrics::Histogram::SummaryFromBuckets({}, 0.0).count, 0);
+}
+
+// --- Collector windowing (driven directly, no runtime) -----------------------
+
+Collector::Config SmallConfig() {
+  Collector::Config c;
+  c.name = "t";
+  c.window_ns = kWin;
+  return c;
+}
+
+TEST(CollectorTest, CountersRollUpAsPerWindowDeltas) {
+  metrics::Registry reg;
+  Collector col(SmallConfig());
+  col.SetRegistry(&reg);
+  col.WatchCounter("reqs");
+  col.WatchGauge("depth");
+  col.WatchHistogram("lat");
+
+  reg.GetCounter("reqs", "node0").Add(3);
+  reg.GetCounter("reqs", "node1").Add(2);  // family total: watched across labels
+  reg.GetGauge("depth").Set(7.0);
+  reg.GetHistogram("lat").Record(1000.0);
+  col.Advance(kWin);  // closes window 0
+  reg.GetCounter("reqs", "node0").Add(10);
+  reg.GetGauge("depth").Set(3.0);
+  col.Advance(2 * kWin + 1);  // closes window 1
+
+  ASSERT_EQ(col.frames().size(), 2u);
+  EXPECT_EQ(col.frames()[0].counter_deltas[0], 5);
+  EXPECT_EQ(col.frames()[1].counter_deltas[0], 10);
+  EXPECT_DOUBLE_EQ(col.frames()[0].gauge_values[0], 7.0);
+  EXPECT_DOUBLE_EQ(col.frames()[1].gauge_values[0], 3.0);
+  EXPECT_EQ(col.frames()[0].hists[0].summary.count, 1);
+  EXPECT_EQ(col.frames()[1].hists[0].summary.count, 0);
+}
+
+TEST(CollectorTest, FinishClosesThePartialWindow) {
+  metrics::Registry reg;
+  Collector col(SmallConfig());
+  col.SetRegistry(&reg);
+  col.WatchCounter("reqs");
+  reg.GetCounter("reqs").Add(4);
+  col.Finish(kWin / 2);  // run ended mid-window
+  ASSERT_EQ(col.frames().size(), 1u);
+  EXPECT_EQ(col.frames()[0].counter_deltas[0], 4);
+  EXPECT_EQ(col.windows_closed(), 1);
+}
+
+TEST(CollectorTest, FrameRingIsBounded) {
+  metrics::Registry reg;
+  Collector::Config cfg = SmallConfig();
+  cfg.max_frames = 4;
+  Collector col(cfg);
+  col.SetRegistry(&reg);
+  col.WatchCounter("reqs");
+  col.Advance(10 * kWin);  // closes 10 windows
+  EXPECT_EQ(col.frames().size(), 4u);
+  EXPECT_EQ(col.dropped_frames(), 6);
+  EXPECT_EQ(col.frames().front().index, 6);  // oldest retained window
+  EXPECT_EQ(col.FirstFrameStart(), 6 * kWin);
+}
+
+TEST(CollectorTest, AnnotationsAreBoundedAndAdvanceTheClock) {
+  metrics::Registry reg;
+  Collector::Config cfg = SmallConfig();
+  cfg.max_annotations = 2;
+  Collector col(cfg);
+  col.SetRegistry(&reg);
+  col.Annotate(kWin + 1, "crash", "node1");
+  EXPECT_EQ(col.windows_closed(), 1);  // the annotation advanced the window clock
+  col.Annotate(kWin + 2, "restart", "node1");
+  col.Annotate(kWin + 3, "drain", "node0");  // past the cap: dropped, not stored
+  ASSERT_EQ(col.annotations().size(), 2u);
+  EXPECT_EQ(col.annotations()[0].kind, "crash");
+}
+
+TEST(CollectorTest, SeriesValuesSelectsByName) {
+  metrics::Registry reg;
+  Collector col(SmallConfig());
+  col.SetRegistry(&reg);
+  col.WatchCounter("reqs");
+  col.WatchGauge("depth");
+  col.WatchHistogram("lat");
+  reg.GetCounter("reqs").Add(2);
+  reg.GetGauge("depth").Set(5.0);
+  reg.GetHistogram("lat").Record(3000.0);
+  col.Finish(kWin);
+
+  EXPECT_EQ(col.SeriesValues("counter:reqs"), (std::vector<double>{2.0}));
+  EXPECT_EQ(col.SeriesValues("gauge:depth"), (std::vector<double>{5.0}));
+  EXPECT_EQ(col.SeriesValues("hist:lat.count"), (std::vector<double>{1.0}));
+  const std::vector<double> p99 = col.SeriesValues("hist:lat.p99");
+  ASSERT_EQ(p99.size(), 1u);
+  EXPECT_GE(p99[0], 2048.0);  // bucket 11 = [2048, 4096)
+  EXPECT_LE(p99[0], 4096.0);
+  EXPECT_TRUE(col.SeriesValues("counter:nope").empty());
+  EXPECT_TRUE(col.SeriesValues("hist:lat.p42").empty());
+}
+
+TEST(CollectorTest, AggregateHistogramSpansWindows) {
+  metrics::Registry reg;
+  Collector col(SmallConfig());
+  col.SetRegistry(&reg);
+  col.WatchHistogram("lat");
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 10; ++i) {
+      reg.GetHistogram("lat").Record(1000.0 * (w + 1));
+    }
+    col.Advance((w + 1) * kWin);
+  }
+  const metrics::IntervalSummary all = col.AggregateHistogram(0, 0, 4);
+  EXPECT_EQ(all.count, 40);
+  EXPECT_DOUBLE_EQ(all.sum, 10 * (1000.0 + 2000.0 + 3000.0 + 4000.0));
+  const metrics::IntervalSummary mid = col.AggregateHistogram(0, 1, 3);
+  EXPECT_EQ(mid.count, 20);
+}
+
+// --- MTTR --------------------------------------------------------------------
+
+TEST(MttrTest, MeasuresCrashToStableReentry) {
+  // Steady 5/window, dip to 1 for windows 10-14, burst to 12 at 15, steady.
+  std::vector<double> v(30, 5.0);
+  for (int i = 10; i < 15; ++i) v[i] = 1.0;
+  v[15] = 12.0;
+  const MttrResult r = MeasureMttr(v, 0, kWin, 10 * kWin + kWin / 2);
+  EXPECT_TRUE(r.dipped);
+  ASSERT_TRUE(r.measured);
+  // Band is [4.5, 5.5] (flat signal, half-unit floor); first in-band window
+  // after the dip is 16, so recovery is its end: window 17 boundary.
+  EXPECT_DOUBLE_EQ(r.band_lo, 4.5);
+  EXPECT_DOUBLE_EQ(r.band_hi, 5.5);
+  EXPECT_EQ(r.recovered_at, 17 * kWin);
+  EXPECT_EQ(r.mttr, 17 * kWin - (10 * kWin + kWin / 2));
+}
+
+TEST(MttrTest, NoDipMeansNotMeasured) {
+  const std::vector<double> v(20, 5.0);
+  const MttrResult r = MeasureMttr(v, 0, kWin, 8 * kWin);
+  EXPECT_FALSE(r.dipped);
+  EXPECT_FALSE(r.measured);
+}
+
+TEST(MttrTest, DipWithoutRecoveryIsDippedButUnmeasured) {
+  std::vector<double> v(20, 5.0);
+  for (size_t i = 10; i < v.size(); ++i) v[i] = 0.0;  // never comes back
+  const MttrResult r = MeasureMttr(v, 0, kWin, 10 * kWin);
+  EXPECT_TRUE(r.dipped);
+  EXPECT_FALSE(r.measured);
+}
+
+TEST(MttrTest, NoPreCrashWindowsMeansNotMeasured) {
+  const std::vector<double> v(20, 5.0);
+  const MttrResult r = MeasureMttr(v, 0, kWin, kWin);  // crash inside warmup
+  EXPECT_FALSE(r.measured);
+}
+
+// --- JSON / flush ------------------------------------------------------------
+
+void FillCollector(Collector* col, metrics::Registry* reg) {
+  col->SetRegistry(reg);
+  col->WatchCounter("reqs");
+  col->WatchGauge("depth", "node0");
+  col->WatchHistogram("lat");
+  for (int w = 0; w < 3; ++w) {
+    reg->GetCounter("reqs").Add(w + 1);
+    reg->GetGauge("depth", "node0").Set(w * 2.0);
+    reg->GetHistogram("lat").Record(500.0 * (w + 1));
+    col->Advance((w + 1) * kWin);
+  }
+  col->Annotate(2 * kWin + 5, "migration", "0->1");
+  col->Finish(3 * kWin + kWin / 2);
+}
+
+TEST(CollectorTest, WriteJsonIsDeterministic) {
+  metrics::Registry reg1, reg2;
+  Collector col1(SmallConfig()), col2(SmallConfig());
+  FillCollector(&col1, &reg1);
+  FillCollector(&col2, &reg2);
+  std::ostringstream a, b;
+  col1.WriteJson(a);
+  col2.WriteJson(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"tseries\": \"t\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"depth/node0\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"kind\": \"migration\""), std::string::npos);
+}
+
+TEST(CollectorTest, FlushToWritesAtomically) {
+  metrics::Registry reg;
+  Collector col(SmallConfig());
+  FillCollector(&col, &reg);
+  const std::string path = "TS_tseries_test.json";
+  ASSERT_TRUE(col.FlushTo(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream disk, mem;
+  disk << in.rdbuf();
+  col.WriteJson(mem);
+  EXPECT_EQ(disk.str(), mem.str());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());  // renamed away, never left behind
+  std::remove(path.c_str());
+}
+
+// --- Zero-cost invariant on a real runtime -----------------------------------
+
+class Worker final : public amber::Object {
+ public:
+  int Step(int i) {
+    amber::Work(amber::Micros(500));
+    return i;
+  }
+};
+
+amber::Time RunWorkload(Collector* col, std::string* metrics_dump) {
+  amber::Runtime::Config cfg;
+  cfg.nodes = 2;
+  cfg.procs_per_node = 1;
+  cfg.arena_bytes = size_t{128} << 20;
+  amber::Runtime rt(cfg);
+  metrics::Registry reg;
+  rt.SetMetrics(&reg);
+  if (col != nullptr) {
+    col->SetRegistry(&reg);
+    col->AttachTo(rt);
+  }
+  amber::Time end = 0;
+  rt.Run([&end] {
+    auto w = amber::NewOn<Worker>(1);
+    for (int i = 0; i < 50; ++i) {
+      auto t = amber::StartThread(w, &Worker::Step, i);
+      t.Join();
+    }
+    end = amber::Now();
+  });
+  if (col != nullptr) {
+    col->Finish(end);
+  }
+  std::ostringstream out;
+  reg.WriteJson(out);
+  *metrics_dump = out.str();
+  return end;
+}
+
+TEST(CollectorTest, AttachedCollectorIsInvisibleToTheRun) {
+  std::string without, with;
+  const amber::Time t1 = RunWorkload(nullptr, &without);
+  Collector col(SmallConfig());
+  const amber::Time t2 = RunWorkload(&col, &with);
+  EXPECT_EQ(t1, t2);          // virtual time unchanged
+  EXPECT_EQ(without, with);   // cumulative metrics dump byte-identical
+  EXPECT_GT(col.windows_closed(), 0);  // and the collector really observed
+}
+
+}  // namespace
+}  // namespace tseries

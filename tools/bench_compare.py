@@ -38,7 +38,11 @@ default allowed virtual-time regression (percent); `--tolerance NAME=PCT`
 overrides it for one benchmark. `--metric NAME=DIR:PCT` (repeatable) pins a
 gauge's direction (`higher`/`lower`) and band, overriding the built-in wall
 rules. Virtual-time-derived gauges present in both files are reported as
-deltas for context but do not gate.
+deltas for context but do not gate — except `sweep.*` gauges (the saturation
+curve from `bench_serve --sweep`): those are deterministic functions of the
+model, so every curve point gates at the benchmark's own tolerance,
+direction-aware (throughput higher-is-better, latency/rejection lower), and
+--no-wall-gate does not exempt them.
 
 Exit status: 0 if every benchmark is within tolerance, 1 on regression or a
 missing/unreadable file.
@@ -73,6 +77,21 @@ def gauges(doc):
 
 def is_wall_metric(key):
     return ".wall." in key
+
+
+def is_sweep_metric(key):
+    """Saturation-curve gauges (bench_serve --sweep) are virtual-time-derived:
+    deterministic, so they gate even under --no-wall-gate, at the benchmark's
+    own (tight) tolerance rather than the wall band."""
+    return key.split("/")[0].startswith("sweep.")
+
+
+def sweep_direction(key):
+    """Direction for sweep-curve gauges: throughput up, latency/rejection down."""
+    family = key.split("/")[0]
+    if family.endswith("per_sec") or "throughput" in family:
+        return "higher"
+    return "lower"
 
 
 def wall_direction(key):
@@ -201,7 +220,8 @@ def main():
         for key in sorted(base_gauges.keys() & cur_gauges.keys()):
             b, c = base_gauges[key], cur_gauges[key]
             rule = metric_rules.get(key)
-            gated = rule is not None or is_wall_metric(key)
+            sweep = rule is None and is_sweep_metric(key)
+            gated = rule is not None or sweep or is_wall_metric(key)
             if not gated:
                 if b == c:
                     continue
@@ -209,31 +229,49 @@ def main():
                 print(f"  note: {name} gauge {key}: {b:g} -> {c:g}{rel}")
                 continue
 
-            direction, band = rule if rule is not None else (wall_direction(key), args.wall_tolerance)
+            if rule is not None:
+                direction, band = rule
+            elif sweep:
+                direction, band = sweep_direction(key), tol
+            else:
+                direction, band = wall_direction(key), args.wall_tolerance
+            if sweep and b == c:
+                continue  # identical curve point: the gate holds, quietly
             if b == 0:
-                print(f"  note: {name} wall gauge {key}: baseline is 0, skipping gate")
+                if sweep and direction == "lower":
+                    # A lower-is-better curve point moving off zero (e.g. a rung
+                    # that never rejected starts rejecting) is a real change
+                    # even though no relative delta exists.
+                    failures.append(f"{name}: sweep gauge {key}: {c:g} vs baseline 0")
+                    print(f"  sweep: {name} {key}: 0 -> {c:g} [lower] REGRESSION")
+                else:
+                    print(f"  note: {name} gauge {key}: baseline is 0, skipping gate")
                 continue
+            # Sweep gauges derive from virtual time: deterministic, so
+            # --no-wall-gate (a cross-machine concession) never exempts them.
+            gate_off = args.no_wall_gate and not sweep
+            kind = "sweep" if sweep else "wall"
             rel_pct = 100.0 * (c - b) / b
             worse = rel_pct < -band if direction == "higher" else rel_pct > band
             better = rel_pct > band if direction == "higher" else rel_pct < -band
-            gate = "off (--no-wall-gate)" if args.no_wall_gate else f"{direction} +/-{band:.0f}%"
+            gate = "off (--no-wall-gate)" if gate_off else f"{direction} +/-{band:.1f}%"
             mark = "ok"
             if better:
                 mark = "ok (ratchet)"
                 stale.setdefault(name, (base_path, cur_path))
                 print(
-                    f"  ratchet candidate: {name} wall gauge {key} improved "
+                    f"  ratchet candidate: {name} {kind} gauge {key} improved "
                     f"{b:g} -> {c:g} ({rel_pct:+.2f}%, {direction}-is-better); "
                     f"consider refreshing {base_path}"
                 )
             if worse:
-                mark = "WORSE" if args.no_wall_gate else "REGRESSION"
-                if not args.no_wall_gate:
+                mark = "WORSE" if gate_off else "REGRESSION"
+                if not gate_off:
                     failures.append(
-                        f"{name}: wall gauge {key}: {c:g} vs baseline {b:g} "
-                        f"({rel_pct:+.2f}%, {direction}-is-better, band {band:.0f}%)"
+                        f"{name}: {kind} gauge {key}: {c:g} vs baseline {b:g} "
+                        f"({rel_pct:+.2f}%, {direction}-is-better, band {band:.1f}%)"
                     )
-            print(f"  wall: {name} {key}: {b:g} -> {c:g} ({rel_pct:+.2f}%) [{gate}] {mark}")
+            print(f"  {kind}: {name} {key}: {b:g} -> {c:g} ({rel_pct:+.2f}%) [{gate}] {mark}")
 
     header = ("bench", "baseline", "current", "delta", "tolerance", "verdict")
     widths = [max(len(str(r[i])) for r in rows + [header]) for i in range(len(header))]
